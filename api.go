@@ -1,0 +1,232 @@
+// Package distmatch is a Go implementation of the distributed approximate
+// matching algorithms of Lotker, Patt-Shamir and Pettie, "Improved
+// Distributed Approximate Matching" (SPAA 2008), together with everything
+// needed to run and evaluate them: a synchronous message-passing simulator
+// (CONGEST/LOCAL models), the classical baselines (Israeli–Itai maximal
+// matching, Luby MIS, a weight-class (¼−ε)-MWM black box), exact
+// centralized references (Hopcroft–Karp, Edmonds blossom, Galil's O(n³)
+// maximum weight matching), graph workload generators, and an input-queued
+// switch scheduling application.
+//
+// The package offers one entry point per algorithm:
+//
+//	g := distmatch.RandomBipartite(42, 512, 512, 0.01)
+//	res := distmatch.MCMBipartite(g, 3, 42) // (1−1/3)-approximate MCM
+//	fmt.Println(res.Matching.Size(), res.Stats.Rounds)
+//
+// All algorithms are randomized; identical seeds give bit-identical
+// executions. By default algorithms run with a global-termination oracle
+// (each use is one simulator round, counted in Stats.OracleCalls; see
+// DESIGN.md §2); pass Budgeted() for the paper's fixed w.h.p. budgets.
+package distmatch
+
+import (
+	"distmatch/internal/check"
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/israeliitai"
+	"distmatch/internal/lpr"
+	"distmatch/internal/mis"
+	"distmatch/internal/rng"
+)
+
+// Re-exported fundamental types.
+type (
+	// Graph is an immutable undirected (optionally weighted, optionally
+	// bipartite) graph; build one with NewBuilder or the generators.
+	Graph = graph.Graph
+	// Builder accumulates edges for a Graph.
+	Builder = graph.Builder
+	// Matching is a set of pairwise non-adjacent edges.
+	Matching = graph.Matching
+	// Stats reports rounds, messages, bits and oracle use of a run.
+	Stats = dist.Stats
+)
+
+// NewBuilder returns a graph builder on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Result bundles an algorithm's output matching with its execution cost.
+type Result struct {
+	Matching *Matching
+	Stats    *Stats
+}
+
+// Option tweaks algorithm execution.
+type Option func(*config)
+
+type config struct {
+	budgeted bool
+	iters    int
+	idleStop int
+	trace    []*Matching
+	strict   int
+}
+
+// Budgeted switches from oracle-based convergence detection to the paper's
+// fixed with-high-probability iteration budgets.
+func Budgeted() Option { return func(c *config) { c.budgeted = true } }
+
+// Iterations overrides an algorithm's outer iteration count (Algorithms 4
+// and 5).
+func Iterations(n int) Option { return func(c *config) { c.iters = n } }
+
+// IdleStop makes MCMGeneral stop after n consecutive iterations without an
+// augmentation (the E4 convergence heuristic). Default 40.
+func IdleStop(n int) Option { return func(c *config) { c.idleStop = n } }
+
+// Trace captures per-iteration matchings from MWMHalf; the slice must have
+// core.WeightedIters(eps)+1 entries.
+func Trace(t []*Matching) Option { return func(c *config) { c.trace = t } }
+
+// StrictCongest makes MCMBipartite run in strict CONGEST mode: no message
+// exceeds capacityBits bits; larger values are pipelined chunk by chunk
+// (the paper's Lemma 3.7 transformation), multiplying rounds by the
+// corresponding ⌈B/c⌉ factors.
+func StrictCongest(capacityBits int) Option {
+	return func(c *config) { c.strict = capacityBits }
+}
+
+func buildConfig(opts []Option) config {
+	c := config{idleStop: 40}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// MaximalMatching computes a maximal matching (a ½-approximate MCM) with
+// the randomized Israeli–Itai algorithm in O(log n) rounds w.h.p.
+func MaximalMatching(g *Graph, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	m, st := israeliitai.Run(g, seed, !c.budgeted)
+	return Result{m, st}
+}
+
+// MCMGeneric computes a (1−ε)-approximate maximum cardinality matching on
+// any graph with the paper's generic Algorithm 1/2 (Theorem 3.1). It uses
+// LOCAL-model messages of up to O(|V|+|E|) bits and local computation
+// exponential in 1/ε — use it on small or sparse instances only.
+func MCMGeneric(g *Graph, eps float64, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	m, st := core.GenericMCM(g, eps, seed, !c.budgeted)
+	return Result{m, st}
+}
+
+// MCMBipartite computes a (1−1/k)-approximate maximum cardinality matching
+// of a bipartite graph (the paper's Algorithm 3, Theorem 3.8) in
+// O(k³ log Δ + k² log n) rounds with O(log n)-bit messages.
+func MCMBipartite(g *Graph, k int, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	if c.strict > 0 {
+		m, st := core.BipartiteMCMStrict(g, k, seed, c.strict, !c.budgeted)
+		return Result{m, st}
+	}
+	m, st := core.BipartiteMCM(g, k, seed, !c.budgeted)
+	return Result{m, st}
+}
+
+// MCMGeneral computes a (1−1/k)-approximate maximum cardinality matching of
+// an arbitrary graph w.h.p. (the paper's Algorithm 4, Theorem 3.11) by
+// repeated random bipartite sampling. k must exceed 2.
+func MCMGeneral(g *Graph, k int, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	m, st := core.GeneralMCM(g, k, seed, core.GeneralOptions{
+		Iters:    c.iters,
+		IdleStop: c.idleStop,
+		Oracle:   !c.budgeted,
+	})
+	return Result{m, st}
+}
+
+// MWMHalf computes a (½−ε)-approximate maximum weight matching (the
+// paper's Algorithm 5, Theorem 4.5) by iterating the (¼−ε′)-MWM black box
+// on the wrap-gain weights w_M.
+func MWMHalf(g *Graph, eps float64, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	m, st := core.WeightedMWM(g, eps, seed, !c.budgeted, c.trace)
+	return Result{m, st}
+}
+
+// MWMQuarter computes a (¼−ε)-approximate maximum weight matching with the
+// weight-class black box (the Lemma 4.4 substrate; see DESIGN.md §3).
+func MWMQuarter(g *Graph, eps float64, seed uint64, opts ...Option) Result {
+	c := buildConfig(opts)
+	m, st := lpr.Run(g, eps, seed, !c.budgeted)
+	return Result{m, st}
+}
+
+// MIS computes a maximal independent set with Luby's algorithm and returns
+// the membership vector.
+func MIS(g *Graph, seed uint64, opts ...Option) ([]bool, *Stats) {
+	c := buildConfig(opts)
+	return mis.Run(g, seed, !c.budgeted)
+}
+
+// VerifyReport is the outcome of distributed self-verification.
+type VerifyReport = check.Report
+
+// VerifyDistributed certifies a matching without central collection: a
+// one-round handshake (consistency), a two-round maximality probe, and —
+// for bipartite graphs with probeLen > 0 — a Berge probe for augmenting
+// paths of length ≤ probeLen, which certifies a (1−1/k) approximation for
+// probeLen = 2k−1 (see VerifyReport.ApproxCertificate).
+func VerifyDistributed(g *Graph, m *Matching, probeLen int, seed uint64) (VerifyReport, *Stats) {
+	return check.Matching(g, m, probeLen, seed)
+}
+
+// OptimalMCM returns an exact maximum cardinality matching (centralized:
+// Hopcroft–Karp on bipartite graphs, Edmonds' blossom otherwise).
+func OptimalMCM(g *Graph) *Matching { return exact.MaxCardinality(g) }
+
+// OptimalMWM returns an exact maximum weight matching (centralized Galil
+// O(n³) blossom algorithm).
+func OptimalMWM(g *Graph) *Matching { return exact.MWM(g, false) }
+
+// GreedyMWM returns the classical centralized greedy ½-approximation.
+func GreedyMWM(g *Graph) *Matching { return exact.GreedyMWM(g) }
+
+// LocalSearchMWM returns the (1−ε)-approximate maximum weight matching of
+// the paper's §4 Remark: centralized local search over alternating
+// paths/cycles with at most k unmatched edges; the local optimum is
+// k/(k+1)-approximate (Lemma 4.2). Exponential in k — references only.
+func LocalSearchMWM(g *Graph, k int) *Matching { return exact.LocalSearchMWM(g, k) }
+
+// ConflictGraph materializes the paper's Definition 3.1: the graph whose
+// vertices are the augmenting paths of length ≤ ell w.r.t. m and whose
+// edges join intersecting paths. Returns the graph and the paths in vertex
+// order.
+func ConflictGraph(g *Graph, m *Matching, ell int) (*Graph, [][]int) {
+	return core.ConflictGraph(g, m, ell)
+}
+
+// CountAugmentingPaths runs the paper's Algorithm 3 counting BFS (Lemma
+// 3.6) distributively on a bipartite graph: counts[v] is the number of
+// shortest half-augmenting paths from free X nodes ending at v, or -1
+// where the BFS never arrived.
+func CountAugmentingPaths(g *Graph, m *Matching, ell int) ([]float64, *Stats) {
+	return core.CountPaths(g, m, ell)
+}
+
+// ---- Workload generators (seeded, deterministic) ----
+
+// RandomGraph returns an Erdős–Rényi G(n, p) graph.
+func RandomGraph(seed uint64, n int, p float64) *Graph { return gen.Gnp(rng.New(seed), n, p) }
+
+// RandomBipartite returns a random bipartite graph with nx+ny nodes.
+func RandomBipartite(seed uint64, nx, ny int, p float64) *Graph {
+	return gen.BipartiteGnp(rng.New(seed), nx, ny, p)
+}
+
+// WithUniformWeights re-weights g with i.i.d. uniform weights on [lo, hi).
+func WithUniformWeights(seed uint64, g *Graph, lo, hi float64) *Graph {
+	return gen.UniformWeights(rng.New(seed), g, lo, hi)
+}
+
+// WithExpWeights re-weights g with i.i.d. exponential weights.
+func WithExpWeights(seed uint64, g *Graph, mean float64) *Graph {
+	return gen.ExpWeights(rng.New(seed), g, mean)
+}

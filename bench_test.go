@@ -1,0 +1,173 @@
+package distmatch
+
+// One benchmark per experiment in the paper-reproduction index (DESIGN.md
+// §5, EXPERIMENTS.md). Each runs the corresponding experiment generator in
+// Quick mode; `cmd/benchtables` regenerates the full tables. Additional
+// micro-benchmarks cover the hot substrates (engine rounds, exact matchers)
+// so performance regressions in the simulator itself are visible.
+
+import (
+	"math"
+	"testing"
+
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+	"distmatch/internal/exact"
+	"distmatch/internal/experiments"
+	"distmatch/internal/gen"
+	"distmatch/internal/israeliitai"
+	"distmatch/internal/lpr"
+	"distmatch/internal/rng"
+	"distmatch/internal/stats"
+	"distmatch/internal/switchsched"
+)
+
+func benchExperiment(b *testing.B, gen func(experiments.Config) *stats.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := gen(experiments.Config{Quick: true, Seed: uint64(i) + 1})
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkE1GenericMCM regenerates E1 (Theorem 3.1).
+func BenchmarkE1GenericMCM(b *testing.B) { benchExperiment(b, experiments.E1Generic) }
+
+// BenchmarkE2BipartiteMCM regenerates E2 (Theorem 3.8, Figure 1's machinery).
+func BenchmarkE2BipartiteMCM(b *testing.B) { benchExperiment(b, experiments.E2Bipartite) }
+
+// BenchmarkE3Counting regenerates E3 (Lemma 3.6 + Figure 1).
+func BenchmarkE3Counting(b *testing.B) { benchExperiment(b, experiments.E3Counting) }
+
+// BenchmarkE4GeneralMCM regenerates E4 (Theorem 3.11 / Lemma 3.10).
+func BenchmarkE4GeneralMCM(b *testing.B) { benchExperiment(b, experiments.E4General) }
+
+// BenchmarkE5SurvivalProb regenerates E5 (Observation 3.2).
+func BenchmarkE5SurvivalProb(b *testing.B) { benchExperiment(b, experiments.E5Survival) }
+
+// BenchmarkE6WeightedMWM regenerates E6 (Theorem 4.5, Lemma 4.3, Figure 2).
+func BenchmarkE6WeightedMWM(b *testing.B) { benchExperiment(b, experiments.E6Weighted) }
+
+// BenchmarkE7LPRQuarter regenerates E7 (Lemma 4.4 black box + ablation A4).
+func BenchmarkE7LPRQuarter(b *testing.B) { benchExperiment(b, experiments.E7Quarter) }
+
+// BenchmarkE8Baselines regenerates E8 (§1 comparison table).
+func BenchmarkE8Baselines(b *testing.B) { benchExperiment(b, experiments.E8Baselines) }
+
+// BenchmarkE9Switch regenerates E9 (§1 switch scheduling).
+func BenchmarkE9Switch(b *testing.B) { benchExperiment(b, experiments.E9Switch) }
+
+// BenchmarkE10MessageBits regenerates E10 (§2 LOCAL vs CONGEST sizes).
+func BenchmarkE10MessageBits(b *testing.B) { benchExperiment(b, experiments.E10MessageBits) }
+
+// BenchmarkE11LocalSearch regenerates E11 (§4 Remark, Lemma 4.2 bound).
+func BenchmarkE11LocalSearch(b *testing.B) { benchExperiment(b, experiments.E11LocalSearch) }
+
+// BenchmarkE12Trees regenerates E12 (§1 constant-time trees, [12]).
+func BenchmarkE12Trees(b *testing.B) { benchExperiment(b, experiments.E12Trees) }
+
+// ---- Algorithm-level benchmarks at a fixed mid-size workload ----
+
+func bipartiteWorkload(seed uint64, half int) *Graph {
+	return gen.BipartiteGnp(rng.New(seed), half, half, math.Min(1, 4.0/float64(half)))
+}
+
+// BenchmarkAlgBipartiteK3 measures one full Theorem 3.8 run (n=1024).
+func BenchmarkAlgBipartiteK3(b *testing.B) {
+	g := bipartiteWorkload(1, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BipartiteMCM(g, 3, uint64(i), true)
+	}
+}
+
+// BenchmarkAlgGeneralK3 measures one full Theorem 3.11 run (n=128).
+func BenchmarkAlgGeneralK3(b *testing.B) {
+	g := gen.Gnp(rng.New(2), 128, 3.0/128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GeneralMCM(g, 3, uint64(i), core.GeneralOptions{Oracle: true, IdleStop: 30})
+	}
+}
+
+// BenchmarkAlgWeighted measures one full Theorem 4.5 run (n=128, ε=0.25).
+func BenchmarkAlgWeighted(b *testing.B) {
+	g := gen.UniformWeights(rng.New(3), gen.Gnm(rng.New(4), 128, 512), 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.WeightedMWM(g, 0.25, uint64(i), true, nil)
+	}
+}
+
+// BenchmarkAlgIsraeliItai measures the baseline maximal matching (n=4096).
+func BenchmarkAlgIsraeliItai(b *testing.B) {
+	g := gen.Gnm(rng.New(5), 4096, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		israeliitai.Run(g, uint64(i), true)
+	}
+}
+
+// BenchmarkAlgLPRQuarter measures the weight-class black box (n=1024).
+func BenchmarkAlgLPRQuarter(b *testing.B) {
+	g := gen.UniformWeights(rng.New(6), gen.Gnm(rng.New(7), 1024, 4096), 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpr.Run(g, 0.05, uint64(i), true)
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkEngineRound measures raw simulator round throughput: 4096 nodes
+// exchanging one signal per edge per round on a 4-regular graph.
+func BenchmarkEngineRound(b *testing.B) {
+	g := gen.DRegular(rng.New(8), 4096, 4)
+	rounds := 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.Run(g, dist.Config{Seed: uint64(i)}, func(nd *dist.Node) {
+			for r := 0; r < rounds; r++ {
+				nd.SendAll(dist.Signal{})
+				nd.Step()
+			}
+		})
+	}
+	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// BenchmarkExactHopcroftKarp measures the bipartite reference (n=4096).
+func BenchmarkExactHopcroftKarp(b *testing.B) {
+	g := bipartiteWorkload(9, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.HopcroftKarp(g)
+	}
+}
+
+// BenchmarkExactBlossom measures the general-cardinality reference (n=512).
+func BenchmarkExactBlossom(b *testing.B) {
+	g := gen.Gnm(rng.New(10), 512, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.BlossomMCM(g)
+	}
+}
+
+// BenchmarkExactMWM measures Galil's O(n³) reference (n=256).
+func BenchmarkExactMWM(b *testing.B) {
+	g := gen.UniformWeights(rng.New(11), gen.Gnm(rng.New(12), 256, 1024), 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.MWM(g, false)
+	}
+}
+
+// BenchmarkSwitchSlotISLIP measures switch simulation speed (16 ports).
+func BenchmarkSwitchSlotISLIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		switchsched.Simulate(16, switchsched.Uniform{}, &switchsched.ISLIP{Iters: 1}, 0.9, 2000, uint64(i))
+	}
+}

@@ -1,0 +1,168 @@
+// Command distmatch runs any of the library's matching algorithms on a
+// generated graph and prints the result with its distributed cost.
+//
+// Usage examples:
+//
+//	distmatch -algo bipartite -n 1024 -k 3
+//	distmatch -algo weighted -n 256 -eps 0.1 -weights exp
+//	distmatch -algo israeliitai -graph gnp -n 4096 -deg 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/israeliitai"
+	"distmatch/internal/lpr"
+	"distmatch/internal/rng"
+)
+
+func main() {
+	algo := flag.String("algo", "bipartite", "bipartite | general | generic | weighted | quarter | israeliitai")
+	gkind := flag.String("graph", "auto", "gnp | bipartite | regular | tree | chain | grid | hypercube | torus | planted | auto (by algo)")
+	n := flag.Int("n", 512, "number of nodes (per side for bipartite)")
+	deg := flag.Float64("deg", 4, "target average degree")
+	k := flag.Int("k", 3, "approximation parameter k for (1-1/k)-MCM")
+	eps := flag.Float64("eps", 0.1, "epsilon for (1-ε)/(1/2-ε) algorithms")
+	weights := flag.String("weights", "uniform", "uniform | exp | unit")
+	seed := flag.Uint64("seed", 1, "random seed (identical seeds replay runs)")
+	budget := flag.Bool("budget", false, "use the paper's fixed w.h.p. budgets instead of the convergence oracle")
+	showOpt := flag.Bool("opt", true, "also compute the exact optimum (centralized) for the ratio")
+	profile := flag.Bool("profile", false, "print a per-round traffic profile (bipartite and israeliitai only)")
+	flag.Parse()
+
+	g := buildGraph(*algo, *gkind, *n, *deg, *weights, *seed)
+	fmt.Printf("graph: %v\n", g)
+
+	oracle := !*budget
+	cfg := dist.Config{Seed: *seed, Profile: *profile}
+	var m *graph.Matching
+	var stats *dist.Stats
+	switch *algo {
+	case "bipartite":
+		m, stats = core.BipartiteMCMWithConfig(g, *k, cfg, oracle)
+	case "general":
+		m, stats = core.GeneralMCM(g, *k, *seed, core.GeneralOptions{Oracle: oracle, IdleStop: 40})
+	case "generic":
+		m, stats = core.GenericMCM(g, *eps, *seed, oracle)
+	case "weighted":
+		m, stats = core.WeightedMWM(g, *eps, *seed, oracle, nil)
+	case "quarter":
+		m, stats = lpr.Run(g, *eps, *seed, oracle)
+	case "israeliitai":
+		m, stats = israeliitai.RunWithConfig(g, cfg, oracle)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	if err := m.Verify(g); err != nil {
+		fmt.Fprintf(os.Stderr, "INVALID MATCHING: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("matching: size=%d weight=%.3f\n", m.Size(), m.Weight(g))
+	fmt.Printf("cost:     %v\n", stats)
+	if *profile && len(stats.Profile) > 0 {
+		fmt.Println("per-round traffic (messages, '▪' ≈ scaled volume):")
+		peak := int64(1)
+		for _, p := range stats.Profile {
+			if p.Messages > peak {
+				peak = p.Messages
+			}
+		}
+		for r, p := range stats.Profile {
+			barLen := int(p.Messages * 40 / peak)
+			fmt.Printf("  r%-4d %8d %s\n", r, p.Messages, strings.Repeat("▪", barLen))
+		}
+	}
+	if *showOpt {
+		switch *algo {
+		case "weighted", "quarter":
+			opt := exact.MWM(g, false).Weight(g)
+			if opt > 0 {
+				fmt.Printf("optimum:  weight=%.3f ratio=%.4f\n", opt, m.Weight(g)/opt)
+			}
+		default:
+			opt := exact.MaxCardinality(g).Size()
+			if opt > 0 {
+				fmt.Printf("optimum:  size=%d ratio=%.4f\n", opt, float64(m.Size())/float64(opt))
+			}
+		}
+	}
+}
+
+func buildGraph(algo, kind string, n int, deg float64, weights string, seed uint64) *graph.Graph {
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	if kind == "auto" {
+		if algo == "bipartite" {
+			kind = "bipartite"
+		} else {
+			kind = "gnp"
+		}
+	}
+	var g *graph.Graph
+	switch kind {
+	case "gnp":
+		g = gen.Gnp(r, n, minf(1, deg/float64(n-1)))
+	case "bipartite":
+		g = gen.BipartiteGnp(r, n, n, minf(1, deg/float64(n)))
+	case "regular":
+		g = gen.DRegular(r, n, int(deg))
+	case "tree":
+		g = gen.RandomTree(r, n)
+	case "chain":
+		return gen.AdversarialChain(n) // already weighted
+	case "grid":
+		side := isqrt(n)
+		g = gen.Grid(side, side)
+	case "hypercube":
+		d := 0
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		g = gen.Hypercube(d)
+	case "torus":
+		side := isqrt(n)
+		if side < 3 {
+			side = 3
+		}
+		g = gen.Torus(side, side)
+	case "planted":
+		g, _ = gen.PlantedBipartite(r, n, deg-1)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph kind %q\n", kind)
+		os.Exit(2)
+	}
+	switch weights {
+	case "uniform":
+		g = gen.UniformWeights(r, g, 1, 100)
+	case "exp":
+		g = gen.ExpWeights(r, g, 10)
+	case "unit":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown weights %q\n", weights)
+		os.Exit(2)
+	}
+	return g
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+// Command switchsim sweeps offered load on a virtual-output-queued
+// crossbar switch and prints throughput/delay for the scheduling
+// algorithms of the paper's §1 motivation (PIM, iSLIP, maximal greedy,
+// exact max-size/max-weight matching, and the paper's distributed MCM).
+//
+// Usage:
+//
+//	switchsim -n 16 -slots 20000 -traffic uniform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distmatch/internal/stats"
+	"distmatch/internal/switchsched"
+)
+
+func main() {
+	n := flag.Int("n", 16, "switch port count")
+	slots := flag.Int("slots", 10000, "time slots to simulate")
+	traffic := flag.String("traffic", "uniform", "uniform | diagonal | bursty | hotspot")
+	loads := flag.String("loads", "0.5,0.7,0.8,0.9,0.95,1.0", "comma-separated offered loads")
+	seed := flag.Uint64("seed", 1, "random seed")
+	withDist := flag.Bool("dist", false, "include the paper's distributed MCM scheduler (slow)")
+	tails := flag.Bool("tails", false, "also report p50/p99 delay percentiles")
+	flag.Parse()
+
+	var arr switchsched.Arrival
+	switch *traffic {
+	case "uniform":
+		arr = switchsched.Uniform{}
+	case "diagonal":
+		arr = switchsched.Diagonal{}
+	case "bursty":
+		arr = &switchsched.Bursty{MeanBurst: 16}
+	case "hotspot":
+		arr = switchsched.Hotspot{Fraction: 0.3}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *traffic)
+		os.Exit(2)
+	}
+
+	var loadList []float64
+	for _, s := range strings.Split(*loads, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "bad load %q\n", s)
+			os.Exit(2)
+		}
+		loadList = append(loadList, v)
+	}
+
+	mk := func() []switchsched.Scheduler {
+		s := []switchsched.Scheduler{
+			switchsched.PIM{Iters: 1},
+			switchsched.PIM{Iters: 4},
+			&switchsched.ISLIP{Iters: 1},
+			switchsched.Greedy{},
+			switchsched.MaxSize{},
+			switchsched.MaxWeight{},
+		}
+		if *withDist {
+			s = append(s, &switchsched.DistMCM{K: 3})
+		}
+		return s
+	}
+
+	headers := []string{"scheduler", "load", "throughput", "meanDelay", "maxVOQ", "backlog"}
+	if *tails {
+		headers = append(headers, "p50", "p99")
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("switch %d×%d, %s traffic, %d slots", *n, *n, arr.Name(), *slots),
+		headers...)
+	for _, load := range loadList {
+		for _, s := range mk() {
+			// Bursty keeps state; rebuild per run via mk() above.
+			if *tails {
+				res, delays := switchsched.SimulateDelays(*n, arr, s, load, *slots, *seed)
+				sample := stats.Sample(delays)
+				t.Add(s.Name(), load, res.Throughput(*n), res.MeanDelay(),
+					res.MaxBacklog, res.Backlog, sample.Quantile(0.5), sample.Quantile(0.99))
+			} else {
+				res := switchsched.Simulate(*n, arr, s, load, *slots, *seed)
+				t.Add(s.Name(), load, res.Throughput(*n), res.MeanDelay(), res.MaxBacklog, res.Backlog)
+			}
+		}
+	}
+	fmt.Println(t.Render())
+}

@@ -1,0 +1,64 @@
+package distmatch_test
+
+import (
+	"fmt"
+
+	"distmatch"
+)
+
+// ExampleMCMBipartite demonstrates the paper's flagship algorithm: the
+// bipartite (1−1/k)-approximate maximum cardinality matching of Theorem 3.8.
+func ExampleMCMBipartite() {
+	// A tiny fixed graph: 2 clients, 2 servers, 3 possible links.
+	b := distmatch.NewBuilder(4)
+	b.SetSide(0, 0)
+	b.SetSide(1, 0)
+	b.SetSide(2, 1)
+	b.SetSide(3, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+
+	res := distmatch.MCMBipartite(g, 3, 1)
+	fmt.Println("matched pairs:", res.Matching.Size())
+	// Output:
+	// matched pairs: 2
+}
+
+// ExampleMWMHalf demonstrates the weighted matching of Theorem 4.5 on the
+// paper's Figure 2 weights.
+func ExampleMWMHalf() {
+	b := distmatch.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 10)
+	b.AddWeightedEdge(2, 3, 1)
+	g := b.MustBuild()
+
+	res := distmatch.MWMHalf(g, 0.1, 1)
+	fmt.Println("weight:", res.Matching.Weight(g))
+	// Output:
+	// weight: 10
+}
+
+// ExampleMaximalMatching shows the classical Israeli–Itai baseline.
+func ExampleMaximalMatching() {
+	g := distmatch.RandomGraph(7, 100, 0.05)
+	res := distmatch.MaximalMatching(g, 7)
+	fmt.Println("maximal:", res.Matching.IsMaximal(g))
+	// Output:
+	// maximal: true
+}
+
+// ExampleOptimalMWM shows the exact centralized reference used to measure
+// approximation ratios.
+func ExampleOptimalMWM() {
+	b := distmatch.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 4)
+	b.AddWeightedEdge(0, 2, 3)
+	g := b.MustBuild()
+	fmt.Println("optimum weight:", distmatch.OptimalMWM(g).Weight(g))
+	// Output:
+	// optimum weight: 5
+}

@@ -1,0 +1,39 @@
+// Switch scheduling: the paper's §1 motivating application. An input-queued
+// crossbar switch must pick a matching between input and output ports every
+// time slot. This example compares PIM and iSLIP (the industrial heirs of
+// Israeli–Itai) against the paper's distributed (1−1/k)-MCM running as the
+// scheduler, under near-saturating uniform traffic.
+package main
+
+import (
+	"fmt"
+
+	"distmatch/internal/stats"
+	"distmatch/internal/switchsched"
+)
+
+func main() {
+	const (
+		ports = 8
+		slots = 3000
+		load  = 0.92
+		seed  = 5
+	)
+	fmt.Printf("%d×%d switch, uniform Bernoulli traffic, load %.2f, %d slots\n\n",
+		ports, ports, load, slots)
+
+	t := stats.NewTable("", "scheduler", "throughput", "mean delay (slots)", "final backlog")
+	for _, s := range []switchsched.Scheduler{
+		switchsched.PIM{Iters: 1},
+		&switchsched.ISLIP{Iters: 1},
+		switchsched.PIM{Iters: 4},
+		&switchsched.DistMCM{K: 3}, // the paper's algorithm in the fabric
+		switchsched.MaxSize{},      // what it approximates
+	} {
+		r := switchsched.Simulate(ports, switchsched.Uniform{}, s, load, slots, seed)
+		t.Add(s.Name(), r.Throughput(ports), r.MeanDelay(), r.Backlog)
+	}
+	fmt.Println(t.Render())
+	fmt.Println("PIM with one iteration saturates near 63% throughput; the")
+	fmt.Println("paper's (1-1/k)-MCM tracks the exact max-size scheduler.")
+}

@@ -1,0 +1,35 @@
+// Weighted assignment: servers bid for jobs with utilities; the paper's
+// Algorithm 5 computes a (½−ε)-approximate maximum-utility assignment
+// distributively, with each server/job pair negotiating only over its own
+// link — no coordinator sees the full utility matrix.
+package main
+
+import (
+	"fmt"
+
+	"distmatch"
+)
+
+func main() {
+	const jobs, servers = 150, 150
+
+	// Sparse compatibility graph: a job can run on ~6 random servers, with
+	// exponentially distributed utility per placement.
+	g := distmatch.WithExpWeights(7,
+		distmatch.RandomBipartite(7, jobs, servers, 6.0/float64(servers)), 100)
+	fmt.Println("assignment graph:", g)
+
+	for _, eps := range []float64{0.25, 0.1} {
+		res := distmatch.MWMHalf(g, eps, 99)
+		fmt.Printf("ε=%.2f: assigned %d jobs, total utility %.1f, rounds %d\n",
+			eps, res.Matching.Size(), res.Matching.Weight(g), res.Stats.Rounds)
+	}
+
+	opt := distmatch.OptimalMWM(g)
+	greedy := distmatch.GreedyMWM(g)
+	res := distmatch.MWMHalf(g, 0.1, 99)
+	fmt.Printf("\ncentral greedy (½-approx): %.1f\n", greedy.Weight(g))
+	fmt.Printf("exact optimum (Galil O(n³)): %.1f\n", opt.Weight(g))
+	fmt.Printf("Algorithm 5 achieves %.1f%% of optimum (guarantee ≥ %.0f%%)\n",
+		100*res.Matching.Weight(g)/opt.Weight(g), 100*(0.5-0.1))
+}

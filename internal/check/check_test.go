@@ -1,0 +1,123 @@
+package check
+
+import (
+	"testing"
+
+	"distmatch/internal/core"
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/israeliitai"
+	"distmatch/internal/rng"
+)
+
+func TestValidMaximalMatchingPasses(t *testing.T) {
+	g := gen.Gnp(rng.New(1), 40, 0.15)
+	m, _ := israeliitai.Run(g, 1, true)
+	rep, stats := Matching(g, m, 0, 1)
+	if !rep.Valid {
+		t.Fatal("valid matching rejected")
+	}
+	if !rep.Maximal {
+		t.Fatal("maximal matching reported non-maximal")
+	}
+	if rep.ShortestAug != -2 {
+		t.Fatal("Berge probe ran without being requested")
+	}
+	if stats.Rounds < 4 {
+		t.Fatalf("suspiciously few rounds: %d", stats.Rounds)
+	}
+}
+
+func TestNonMaximalDetected(t *testing.T) {
+	g := gen.Path(4)
+	m := graph.NewMatching(4)
+	m.Match(g, g.EdgeBetween(1, 2)) // (3,4)... edge (0,1)? 0 and 3 free, but not adjacent
+	rep, _ := Matching(g, m, 0, 2)
+	if !rep.Valid {
+		t.Fatal("valid matching rejected")
+	}
+	if !rep.Maximal {
+		t.Fatal("P4 with middle edge matched IS maximal") // 0-1 has 1 matched
+	}
+	// Now an actually non-maximal matching: empty on a single edge.
+	g2 := gen.Path(2)
+	rep2, _ := Matching(g2, graph.NewMatching(2), 0, 3)
+	if rep2.Maximal {
+		t.Fatal("empty matching on an edge reported maximal")
+	}
+}
+
+func TestAsymmetricAssignmentRejected(t *testing.T) {
+	g := gen.Path(3)
+	matchedEdge := []int32{int32(g.EdgeBetween(0, 1)), -1, -1} // 0 claims, 1 doesn't
+	rep, _ := MatchingRaw(g, matchedEdge, 0, 4)
+	if rep.Valid {
+		t.Fatal("asymmetric assignment accepted")
+	}
+}
+
+func TestNonIncidentEdgeClaimRejected(t *testing.T) {
+	g := gen.Path(4)
+	e23 := int32(g.EdgeBetween(2, 3))
+	matchedEdge := []int32{e23, -1, e23, e23} // node 0 claims a far edge
+	rep, _ := MatchingRaw(g, matchedEdge, 0, 5)
+	if rep.Valid {
+		t.Fatal("non-incident claim accepted")
+	}
+}
+
+func TestBergeProbeFindsShortestAugPath(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 12; trial++ {
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), 8, 8, 0.3)
+		var m *graph.Matching
+		if trial%2 == 0 {
+			m = exact.HopcroftKarp(g) // optimal: no augmenting path
+		} else {
+			m = graph.NewMatching(g.N())
+			for e := 0; e < g.M(); e += 2 {
+				u, v := g.Endpoints(e)
+				if m.Free(u) && m.Free(v) {
+					m.Match(g, e)
+				}
+			}
+		}
+		probe := 7
+		rep, _ := Matching(g, m, probe, uint64(trial))
+		want := exact.ShortestAugmentingPathLen(g, m, probe)
+		if rep.ShortestAug != want {
+			t.Fatalf("trial %d: probe says %d, brute force %d", trial, rep.ShortestAug, want)
+		}
+	}
+}
+
+func TestApproxCertificate(t *testing.T) {
+	// A (1-1/k) certificate for the output of the paper's own algorithm.
+	g := gen.BipartiteGnp(rng.New(3), 20, 20, 0.2)
+	k := 3
+	m, _ := core.BipartiteMCM(g, k, 7, true)
+	probe := 2*k - 1
+	rep, _ := Matching(g, m, probe, 7)
+	if !rep.Valid {
+		t.Fatal("algorithm output failed handshake")
+	}
+	if got := rep.ApproxCertificate(probe); got != k {
+		t.Fatalf("certificate k=%d, want %d (ShortestAug=%d)", got, k, rep.ShortestAug)
+	}
+	// A matching with a known augmenting path cannot be certified.
+	empty := graph.NewMatching(g.N())
+	rep2, _ := Matching(g, empty, probe, 7)
+	if rep2.ApproxCertificate(probe) != 0 {
+		t.Fatal("empty matching certified")
+	}
+}
+
+func TestBergeProbeSkippedOnGeneralGraphs(t *testing.T) {
+	g := gen.Cycle(5)
+	m := graph.NewMatching(5)
+	rep, _ := Matching(g, m, 5, 9)
+	if rep.ShortestAug != -2 {
+		t.Fatal("Berge probe ran on a non-bipartite graph")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestStrictMessagesNeverExceedCapacity(t *testing.T) {
+	r := rng.New(1)
+	g := gen.BipartiteGnp(r, 40, 40, 0.1)
+	for _, capacity := range []int{4, 7, 16} {
+		_, stats := BipartiteMCMStrict(g, 3, 5, capacity, true)
+		if stats.MaxMessageBits > capacity {
+			t.Fatalf("capacity %d: observed message of %d bits", capacity, stats.MaxMessageBits)
+		}
+	}
+}
+
+func TestStrictMeetsGuarantee(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		nx := 5 + r.Intn(12)
+		ny := 5 + r.Intn(12)
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), nx, ny, 0.25)
+		k := 3
+		m, _ := BipartiteMCMStrict(g, k, uint64(trial), 8, true)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := exact.HopcroftKarp(g).Size()
+		if float64(m.Size()) < (1-1/float64(k+1))*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: strict %d below guarantee (opt %d)", trial, m.Size(), opt)
+		}
+	}
+}
+
+func TestStrictNoShortAugPathSurvives(t *testing.T) {
+	r := rng.New(3)
+	g := gen.BipartiteGnp(r, 10, 10, 0.3)
+	k := 3
+	m, _ := BipartiteMCMStrict(g, k, 9, 6, true)
+	if l := exact.ShortestAugmentingPathLen(g, m, 2*k-1); l != -1 {
+		t.Fatalf("augmenting path of length %d survived strict mode", l)
+	}
+}
+
+func TestStrictRoundsScaleWithInverseCapacity(t *testing.T) {
+	// Halving the capacity should roughly double the token/count windows.
+	r := rng.New(4)
+	g := gen.BipartiteGnp(r, 64, 64, 0.06)
+	_, wide := BipartiteMCMStrict(g, 2, 7, 32, true)
+	_, narrow := BipartiteMCMStrict(g, 2, 7, 4, true)
+	if narrow.Rounds < 2*wide.Rounds {
+		t.Fatalf("narrow channel rounds %d not well above wide %d", narrow.Rounds, wide.Rounds)
+	}
+	if wide.MaxMessageBits > 32 || narrow.MaxMessageBits > 4 {
+		t.Fatal("capacity violated")
+	}
+}
+
+func TestStrictMatchesPlainGuaranteeClass(t *testing.T) {
+	// Differential: plain and strict runs land in the same guarantee band
+	// (they use different randomness schedules, so sizes may differ within
+	// the band).
+	r := rng.New(5)
+	for trial := 0; trial < 6; trial++ {
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), 12, 12, 0.25)
+		k := 2
+		opt := float64(exact.HopcroftKarp(g).Size())
+		plain, _ := BipartiteMCM(g, k, uint64(trial), true)
+		strict, _ := BipartiteMCMStrict(g, k, uint64(trial), 8, true)
+		lower := (1 - 1/float64(k+1)) * opt
+		if float64(plain.Size()) < lower-1e-9 || float64(strict.Size()) < lower-1e-9 {
+			t.Fatalf("trial %d: plain %d / strict %d below band %v", trial, plain.Size(), strict.Size(), lower)
+		}
+	}
+}
+
+func TestStrictBudgetMode(t *testing.T) {
+	r := rng.New(6)
+	g := gen.BipartiteGnp(r, 10, 10, 0.25)
+	m, stats := BipartiteMCMStrict(g, 2, 11, 8, false)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if stats.OracleCalls != 0 {
+		t.Fatal("budget mode used oracle")
+	}
+}
+
+func TestStrictGeneralMCM(t *testing.T) {
+	// Theorem 3.11 under a hard per-message bit cap: the red/blue
+	// reduction with all inner phases chunked.
+	r := rng.New(7)
+	for trial := 0; trial < 5; trial++ {
+		g := gen.Gnp(r.Fork(uint64(trial)), 20, 0.25)
+		capacity := 6
+		m, stats := GeneralMCM(g, 3, uint64(trial), GeneralOptions{
+			Oracle: true, IdleStop: 40, StrictCapacityBits: capacity,
+		})
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.MaxMessageBits > capacity {
+			t.Fatalf("trial %d: message of %d bits under capacity %d", trial, stats.MaxMessageBits, capacity)
+		}
+		opt := exact.BlossomMCM(g).Size()
+		if float64(m.Size()) < (2.0/3.0)*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: strict general %d below guarantee (opt %d)", trial, m.Size(), opt)
+		}
+	}
+}
+
+func TestStrictDims(t *testing.T) {
+	d := dims(1000, 8, 5, 5)
+	if d.jc < 2 || d.jt != 13 || d.jm != 2 {
+		t.Fatalf("dims: %+v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	dims(10, 2, 1, 0)
+}
+
+func TestPackPriorityOrder(t *testing.T) {
+	// Packing must be monotone in (val, leader).
+	a := packPriority(0.3, 5)
+	b := packPriority(0.7, 2)
+	if a >= b {
+		t.Fatal("higher value must dominate")
+	}
+	c := packPriority(0.5, 3)
+	d := packPriority(0.5, 9)
+	if c >= d {
+		t.Fatal("leader id must break ties")
+	}
+	if leaderOf(d) != 9 {
+		t.Fatal("leader extraction broken")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/mis"
+	"distmatch/internal/rng"
+)
+
+func TestConflictGraphDefinition(t *testing.T) {
+	// Path 0-1-2-3 with (1,2) matched: one augmenting path → C has one
+	// node, no edges.
+	g := gen.Path(4)
+	m := graph.NewMatching(4)
+	m.Match(g, g.EdgeBetween(1, 2))
+	cg, paths := ConflictGraph(g, m, 3)
+	if cg.N() != 1 || cg.M() != 0 || len(paths) != 1 {
+		t.Fatalf("C_M(3) of P4: n=%d m=%d paths=%d", cg.N(), cg.M(), len(paths))
+	}
+	// Empty matching on P4: three length-1 paths; (0,1)-(1,2) and
+	// (1,2)-(2,3) conflict.
+	m0 := graph.NewMatching(4)
+	cg0, paths0 := ConflictGraph(g, m0, 1)
+	if cg0.N() != 3 || cg0.M() != 2 {
+		t.Fatalf("C_M(1) of P4 empty: n=%d m=%d (%v)", cg0.N(), cg0.M(), paths0)
+	}
+}
+
+func TestConflictGraphEdgesAreExactlyIntersections(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.Gnp(r.Fork(uint64(trial)), 10, 0.3)
+		m := graph.NewMatching(g.N())
+		for e := 0; e < g.M(); e += 3 {
+			u, v := g.Endpoints(e)
+			if m.Free(u) && m.Free(v) {
+				m.Match(g, e)
+			}
+		}
+		cg, paths := ConflictGraph(g, m, 3)
+		for i := 0; i < cg.N(); i++ {
+			for j := i + 1; j < cg.N(); j++ {
+				shares := sharesNode(paths[i], paths[j])
+				hasEdge := cg.EdgeBetween(i, j) != -1
+				if shares != hasEdge {
+					t.Fatalf("trial %d: paths %v/%v share=%v edge=%v", trial, paths[i], paths[j], shares, hasEdge)
+				}
+			}
+		}
+	}
+}
+
+func sharesNode(a, b []int) bool {
+	set := map[int]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAbstractAlgorithm1Guarantee(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + r.Intn(10)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.25)
+		opt := exact.BlossomMCM(g).Size()
+		eps := 0.34 // k=3 → guarantee 1 - 1/(k+1) = 0.75 ≥ 1-ε
+		m, _ := AbstractAlgorithm1(g, eps, uint64(trial))
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(m.Size()) < (1-eps)*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: %d below (1-ε)·%d", trial, m.Size(), opt)
+		}
+	}
+}
+
+func TestAbstractMatchesDistributedGuaranteeClass(t *testing.T) {
+	// Differential check: abstract Algorithm 1 and the fully distributed
+	// GenericMCM must both land in the same guarantee class (sizes within
+	// the (1-ε) band of each other via the common optimum).
+	r := rng.New(3)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.Gnp(r.Fork(uint64(trial)), 14, 0.3)
+		opt := float64(exact.BlossomMCM(g).Size())
+		eps := 0.5
+		a, _ := AbstractAlgorithm1(g, eps, uint64(trial))
+		d, _ := GenericMCM(g, eps, uint64(trial), true)
+		if float64(a.Size()) < (1-eps)*opt-1e-9 || float64(d.Size()) < (1-eps)*opt-1e-9 {
+			t.Fatalf("trial %d: abstract %d / distributed %d below band (opt %v)",
+				trial, a.Size(), d.Size(), opt)
+		}
+	}
+}
+
+func TestAbstractAlgorithm1NoShortPathSurvives(t *testing.T) {
+	g := gen.Gnp(rng.New(4), 14, 0.3)
+	m, _ := AbstractAlgorithm1(g, 0.5, 9) // phases 1, 3
+	if l := exact.ShortestAugmentingPathLen(g, m, 3); l != -1 {
+		t.Fatalf("augmenting path of length %d survived Algorithm 1", l)
+	}
+}
+
+func TestMISOnConflictGraphIsMaximalSetOfPaths(t *testing.T) {
+	// The glue fact behind Algorithm 1 Step 5: an MIS of C_M(ℓ) is a
+	// maximal set of pairwise disjoint augmenting paths.
+	g := gen.Gnp(rng.New(5), 12, 0.35)
+	m := graph.NewMatching(g.N())
+	cg, paths := ConflictGraph(g, m, 3)
+	if cg.N() == 0 {
+		t.Skip("no augmenting paths in instance")
+	}
+	member, _ := mis.Run(cg, 11, true)
+	if msg := mis.Verify(cg, member); msg != "" {
+		t.Fatal(msg)
+	}
+	// Independence = pairwise disjoint.
+	var chosen [][]int
+	for i, p := range paths {
+		if member[i] {
+			chosen = append(chosen, p)
+		}
+	}
+	for i := 0; i < len(chosen); i++ {
+		for j := i + 1; j < len(chosen); j++ {
+			if sharesNode(chosen[i], chosen[j]) {
+				t.Fatal("MIS selected intersecting paths")
+			}
+		}
+	}
+	// Maximality: every unchosen path intersects a chosen one.
+	for i, p := range paths {
+		if member[i] {
+			continue
+		}
+		hits := false
+		for _, c := range chosen {
+			if sharesNode(p, c) {
+				hits = true
+				break
+			}
+		}
+		if !hits {
+			t.Fatalf("path %v disjoint from all chosen — MIS not maximal", p)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+// Mass differential tests: every distributed algorithm against the exact
+// centralized references over large batches of random instances. These are
+// the heaviest randomized checks in the repository (guarded by -short);
+// any seed that fails reproduces deterministically.
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestMassBipartiteDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mass differential skipped in -short mode")
+	}
+	r := rng.New(1001)
+	for trial := 0; trial < 100; trial++ {
+		nx := 2 + r.Intn(14)
+		ny := 2 + r.Intn(14)
+		p := 0.1 + 0.4*r.Float64()
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), nx, ny, p)
+		k := 2 + r.Intn(3)
+		m, _ := BipartiteMCM(g, k, uint64(trial), true)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("seed %d: %v", trial, err)
+		}
+		opt := exact.HopcroftKarp(g).Size()
+		if float64(m.Size()) < (1-1/float64(k+1))*float64(opt)-1e-9 {
+			t.Fatalf("seed %d (nx=%d ny=%d p=%.2f k=%d): %d below guarantee of opt %d",
+				trial, nx, ny, p, k, m.Size(), opt)
+		}
+		if l := exact.ShortestAugmentingPathLen(g, m, 2*k-1); l != -1 {
+			t.Fatalf("seed %d: augmenting path of length %d survived", trial, l)
+		}
+	}
+}
+
+func TestMassGeneralDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mass differential skipped in -short mode")
+	}
+	r := rng.New(2002)
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + r.Intn(20)
+		p := 0.15 + 0.3*r.Float64()
+		g := gen.Gnp(r.Fork(uint64(trial)), n, p)
+		m, _ := GeneralMCM(g, 3, uint64(trial), GeneralOptions{Oracle: true, IdleStop: 60})
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("seed %d: %v", trial, err)
+		}
+		opt := exact.BlossomMCM(g).Size()
+		if float64(m.Size()) < (2.0/3.0)*float64(opt)-1e-9 {
+			t.Fatalf("seed %d (n=%d p=%.2f): %d below 2/3 of %d", trial, n, p, m.Size(), opt)
+		}
+	}
+}
+
+func TestMassGenericVsAbstractDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mass differential skipped in -short mode")
+	}
+	r := rng.New(3003)
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + r.Intn(10)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.3)
+		eps := 0.5
+		dm, _ := GenericMCM(g, eps, uint64(trial), true)
+		am, _ := AbstractAlgorithm1(g, eps, uint64(trial))
+		opt := exact.BlossomMCM(g).Size()
+		band := (1 - eps) * float64(opt)
+		if float64(dm.Size()) < band-1e-9 {
+			t.Fatalf("seed %d: distributed generic %d below band %v", trial, dm.Size(), band)
+		}
+		if float64(am.Size()) < band-1e-9 {
+			t.Fatalf("seed %d: abstract %d below band %v", trial, am.Size(), band)
+		}
+	}
+}
+
+func TestMassWeightedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mass differential skipped in -short mode")
+	}
+	r := rng.New(4004)
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + r.Intn(16)
+		g0 := gen.Gnp(r.Fork(uint64(trial)), n, 0.25)
+		var g = g0
+		switch trial % 3 {
+		case 0:
+			g = gen.UniformWeights(r.Fork(uint64(trial+500)), g0, 0.5, 20)
+		case 1:
+			g = gen.ExpWeights(r.Fork(uint64(trial+500)), g0, 5)
+		case 2:
+			g = gen.IntWeights(r.Fork(uint64(trial+500)), g0, 10)
+		}
+		eps := 0.1
+		m, _ := WeightedMWM(g, eps, uint64(trial), true, nil)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("seed %d: %v", trial, err)
+		}
+		opt := exact.MWM(g, false).Weight(g)
+		if m.Weight(g) < (0.5-eps)*opt-1e-9 {
+			t.Fatalf("seed %d (n=%d weights %d): %.3f below (1/2-ε)·%.3f",
+				trial, n, trial%3, m.Weight(g), opt)
+		}
+	}
+}
+
+func TestMassStrictDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mass differential skipped in -short mode")
+	}
+	r := rng.New(5005)
+	for trial := 0; trial < 25; trial++ {
+		nx := 3 + r.Intn(10)
+		ny := 3 + r.Intn(10)
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), nx, ny, 0.3)
+		capacity := 3 + r.Intn(12)
+		k := 2 + r.Intn(2)
+		m, stats := BipartiteMCMStrict(g, k, uint64(trial), capacity, true)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("seed %d: %v", trial, err)
+		}
+		if stats.MaxMessageBits > capacity {
+			t.Fatalf("seed %d: %d-bit message under capacity %d", trial, stats.MaxMessageBits, capacity)
+		}
+		opt := exact.HopcroftKarp(g).Size()
+		if float64(m.Size()) < (1-1/float64(k+1))*float64(opt)-1e-9 {
+			t.Fatalf("seed %d: strict below guarantee", trial)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+// Failure-injection tests: the §3.2 machinery carries two load-bearing
+// invariants that the engine asserts at runtime —
+//
+//  1. token staggering: tokens visit a node in exactly one round
+//     (otherwise colliding paths could both survive and the selected
+//     augmentations would not be disjoint);
+//  2. commit routing: a commit wave may only retrace the recorded winning
+//     token's route.
+//
+// These tests deliberately break each invariant and verify the runtime
+// assertion trips (ablation A1 in EXPERIMENTS.md). If someone "optimizes"
+// away the staggering, the panic — not silent corruption — is the failure
+// mode.
+
+import (
+	"strings"
+	"testing"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/graph"
+)
+
+// destaggeredGraph builds an instance with augmenting paths of lengths 1
+// and 3 sharing their free X endpoint:
+//
+//	y1* — x0* — y2 ══ x2 — y3*
+//
+// d(y1) = 1 and d(y3) = 3, so correctly staggered tokens both reach x0 in
+// the final round; launching both at round 0 delivers them to x0 in
+// different rounds.
+func destaggeredGraph() (*graph.Graph, *graph.Matching) {
+	b := graph.NewBuilder(5)
+	// x0=0, x2=1 on side X; y1=2, y2=3, y3=4 on side Y.
+	b.SetSide(0, 0)
+	b.SetSide(1, 0)
+	b.SetSide(2, 1)
+	b.SetSide(3, 1)
+	b.SetSide(4, 1)
+	b.AddEdge(0, 2) // x0-y1
+	b.AddEdge(0, 3) // x0-y2
+	b.AddEdge(1, 3) // x2=y2 (matched)
+	b.AddEdge(1, 4) // x2-y3
+	g := b.MustBuild()
+	m := graph.NewMatching(5)
+	m.Match(g, g.EdgeBetween(1, 3))
+	return g, m
+}
+
+func TestTokenTimingInvariant(t *testing.T) {
+	g, m := destaggeredGraph()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("de-staggered token launch was not detected")
+		}
+		if !strings.Contains(panicText(r), "token timing violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	dist.Run(g, dist.Config{Seed: 1}, func(nd *dist.Node) {
+		st := &MatchState{MatchedPort: -1}
+		if e := m.MatchedEdge(nd.ID()); e >= 0 {
+			for p := 0; p < nd.Deg(); p++ {
+				if nd.EdgeID(p) == e {
+					st.MatchedPort = p
+				}
+			}
+		}
+		all := func(int) bool { return true }
+		ell := 3
+		bfs := countingBFS(nd, st, nd.Side(), true, all, ell)
+		// Sabotage: pretend every leader is at full distance so all launch
+		// in round 0 — the de-staggering ablation.
+		if bfs.leader {
+			bfs.dist = ell
+		}
+		tokenPhase(nd, st, nd.Side(), true, bfs, ell)
+	})
+	t.Fatal("run completed despite broken staggering")
+}
+
+func TestCorrectStaggeringPassesOnSameInstance(t *testing.T) {
+	// The same instance with honest distances must work and augment both
+	// disjoint paths eventually.
+	g, m := destaggeredGraph()
+	matchedEdge := make([]int32, g.N())
+	dist.Run(g, dist.Config{Seed: 1}, func(nd *dist.Node) {
+		st := &MatchState{MatchedPort: -1}
+		if e := m.MatchedEdge(nd.ID()); e >= 0 {
+			for p := 0; p < nd.Deg(); p++ {
+				if nd.EdgeID(p) == e {
+					st.MatchedPort = p
+				}
+			}
+		}
+		all := func(int) bool { return true }
+		augmentToLength(nd, st, nd.Side(), true, all, 3, true, 0)
+		matchedEdge[nd.ID()] = -1
+		if st.MatchedPort >= 0 {
+			matchedEdge[nd.ID()] = int32(nd.EdgeID(st.MatchedPort))
+		}
+	})
+	res := graph.CollectMatching(g, matchedEdge)
+	if res.Size() != 2 {
+		t.Fatalf("expected both augmenting paths applied, size %d", res.Size())
+	}
+}
+
+func TestCommitRouteInvariant(t *testing.T) {
+	// A rogue commit message arriving at a node that never forwarded a
+	// token must trip the route assertion.
+	g := graph.NewBuilder(2)
+	g.SetSide(0, 0)
+	g.SetSide(1, 1)
+	g.AddEdge(0, 1)
+	gr := g.MustBuild()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("rogue commit was not detected")
+		}
+		if !strings.Contains(panicText(r), "commit route violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	dist.Run(gr, dist.Config{Seed: 2}, func(nd *dist.Node) {
+		st := &MatchState{MatchedPort: -1}
+		if nd.ID() == 0 {
+			// Forge a commit without any token phase.
+			nd.Send(0, commit{leader: 7, nbits: 4})
+			nd.Step()
+			return
+		}
+		commitPhase(nd, st, 1, true, tokenRecord{inPort: -1, outPort: -1}, 1)
+	})
+	t.Fatal("run completed despite rogue commit")
+}
+
+func TestCountingRejectsNonMateMessageToX(t *testing.T) {
+	// An X node receiving a count on a non-mate port violates the BFS
+	// schedule (only Y→mate messages reach X nodes).
+	b := graph.NewBuilder(2)
+	b.SetSide(0, 0)
+	b.SetSide(1, 1)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("non-mate count not detected")
+		}
+		if !strings.Contains(panicText(r), "received count on non-mate port") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	dist.Run(g, dist.Config{Seed: 3}, func(nd *dist.Node) {
+		if nd.ID() == 1 {
+			// Y forges a count to a free X node it is not matched to.
+			nd.Send(0, cnt(1))
+			nd.Step()
+			nd.Step()
+			return
+		}
+		// X is matched to nobody but claims a mate on a different port to
+		// pass the free check; receives the rogue count on port 0.
+		st := &MatchState{MatchedPort: 99}
+		countingBFS(nd, st, 0, true, func(int) bool { return true }, 2)
+	})
+	t.Fatal("run completed despite rogue count")
+}
+
+func panicText(v any) string {
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+func TestGeneralOddCycle(t *testing.T) {
+	// C5 is non-bipartite; optimum 2.
+	g := gen.Cycle(5)
+	m, _ := GeneralMCM(g, 3, 1, GeneralOptions{Oracle: true, IdleStop: 40})
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("C5 matching %d, want 2", m.Size())
+	}
+}
+
+func TestGeneralApproximationGuarantee(t *testing.T) {
+	r := rng.New(1)
+	k := 3
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + r.Intn(16)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.3)
+		opt := exact.BlossomMCM(g).Size()
+		m, _ := GeneralMCM(g, k, uint64(trial), GeneralOptions{Oracle: true, IdleStop: 60})
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lower := float64(opt) * (1 - 1/float64(k))
+		if float64(m.Size()) < lower-1e-9 {
+			t.Fatalf("trial %d: |M|=%d < (1-1/k)|M*|=%.2f (opt %d)", trial, m.Size(), lower, opt)
+		}
+	}
+}
+
+func TestGeneralTriangles(t *testing.T) {
+	// Disjoint triangles: perfect matching impossible, optimum = #triangles.
+	bl := newTriangles(4)
+	opt := exact.BlossomMCM(bl).Size()
+	m, _ := GeneralMCM(bl, 3, 5, GeneralOptions{Oracle: true, IdleStop: 60})
+	if m.Size() != opt {
+		t.Fatalf("triangles: %d != opt %d", m.Size(), opt)
+	}
+}
+
+func TestGeneralPetersenStyle(t *testing.T) {
+	// Two triangles joined by a bridge (from the exact tests): optimum 3.
+	g := bridgeTriangles()
+	m, _ := GeneralMCM(g, 3, 7, GeneralOptions{Oracle: true, IdleStop: 80})
+	if m.Size() != 3 {
+		t.Fatalf("bridge triangles: %d, want 3", m.Size())
+	}
+}
+
+func TestGeneralIdleStopBudget(t *testing.T) {
+	// Idle-stop must use strictly fewer iterations than the theory bound on
+	// easy instances while keeping the guarantee (experiment E4's point).
+	g := gen.Gnp(rng.New(3), 24, 0.25)
+	opt := exact.BlossomMCM(g).Size()
+	m, stats := GeneralMCM(g, 3, 9, GeneralOptions{Oracle: true, IdleStop: 50})
+	if float64(m.Size()) < float64(opt)*(2.0/3.0)-1e-9 {
+		t.Fatalf("below guarantee: %d of %d", m.Size(), opt)
+	}
+	if stats.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestTheoryItersFormula(t *testing.T) {
+	// 2^{2k+1}(k+1) ln k for k=3: 2^7 * 4 * ln 3 ≈ 562.6 → 563.
+	if got := TheoryIters(3); got != 563 {
+		t.Fatalf("TheoryIters(3) = %d, want 563", got)
+	}
+	if TheoryIters(2) != TheoryIters(3) {
+		t.Fatal("k<3 should clamp to 3")
+	}
+}
+
+func TestGeneralRejectsSmallK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=2 accepted")
+		}
+	}()
+	GeneralMCM(gen.Cycle(5), 2, 1, GeneralOptions{})
+}
+
+func TestGeneralDeterminism(t *testing.T) {
+	g := gen.Gnp(rng.New(4), 20, 0.2)
+	a, sa := GeneralMCM(g, 3, 11, GeneralOptions{Oracle: true, IdleStop: 30})
+	b, sb := GeneralMCM(g, 3, 11, GeneralOptions{Oracle: true, IdleStop: 30})
+	if a.Size() != b.Size() || sa.Rounds != sb.Rounds {
+		t.Fatal("nondeterministic execution")
+	}
+}
+
+// ---- helpers ----
+
+func newTriangles(k int) *graph.Graph {
+	b := graph.NewBuilder(3 * k)
+	for t := 0; t < k; t++ {
+		b.AddEdge(3*t, 3*t+1)
+		b.AddEdge(3*t+1, 3*t+2)
+		b.AddEdge(3*t, 3*t+2)
+	}
+	return b.MustBuild()
+}
+
+func bridgeTriangles() *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	return b.MustBuild()
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestGenericPathAndCycle(t *testing.T) {
+	g := gen.Path(7)
+	m, _ := GenericMCM(g, 0.25, 1, true)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("P7: %d, want 3", m.Size())
+	}
+	c := gen.Cycle(9) // odd cycle: optimum 4
+	mc, _ := GenericMCM(c, 0.2, 2, true)
+	if mc.Size() != 4 {
+		t.Fatalf("C9: %d, want 4", mc.Size())
+	}
+}
+
+func TestGenericApproximationGeneralGraphs(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + r.Intn(14)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.25)
+		opt := exact.BlossomMCM(g).Size()
+		eps := 0.34 // k = 3, phases 1,3,5
+		m, _ := GenericMCM(g, eps, uint64(trial), true)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(m.Size()) < (1-eps)*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: %d below (1-ε)·%d", trial, m.Size(), opt)
+		}
+	}
+}
+
+func TestGenericNoShortAugmentingPathSurvives(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.Gnp(r.Fork(uint64(trial)), 12, 0.3)
+		eps := 0.5 // k=2, phases 1,3
+		m, _ := GenericMCM(g, eps, uint64(trial), true)
+		if l := exact.ShortestAugmentingPathLen(g, m, 3); l != -1 {
+			t.Fatalf("trial %d: augmenting path of length %d <= 3 survived", trial, l)
+		}
+	}
+}
+
+func TestGenericMessagesAreLocalSized(t *testing.T) {
+	// Theorem 3.1's cost: the generic algorithm ships neighborhood and
+	// priority tables — message sizes must be much larger than the
+	// CONGEST algorithms' on the same graph (experiment E10's contrast).
+	r := rng.New(3)
+	g := gen.Gnp(r, 40, 0.12)
+	_, gstats := GenericMCM(g, 0.5, 5, true)
+	if gstats.MaxMessageBits < 32*10 {
+		t.Fatalf("generic max message bits %d suspiciously small", gstats.MaxMessageBits)
+	}
+}
+
+func TestGenericBudgetMode(t *testing.T) {
+	g := gen.Gnp(rng.New(4), 14, 0.25)
+	m, stats := GenericMCM(g, 0.5, 7, false)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if stats.OracleCalls != 0 {
+		t.Fatal("budget mode used oracle")
+	}
+	if l := exact.ShortestAugmentingPathLen(g, m, 3); l != -1 {
+		t.Fatalf("budget mode left augmenting path of length %d", l)
+	}
+}
+
+func TestGenericExactForTinyGraphsLargeK(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 6; trial++ {
+		g := gen.Gnp(r.Fork(uint64(trial)), 8, 0.4)
+		opt := exact.BlossomMCM(g).Size()
+		m, _ := GenericMCM(g, 0.125, uint64(trial), true) // k=8: phases to 15 >= n
+		if m.Size() != opt {
+			t.Fatalf("trial %d: %d != opt %d", trial, m.Size(), opt)
+		}
+	}
+}
+
+func TestGenericDeterminism(t *testing.T) {
+	g := gen.Gnp(rng.New(6), 16, 0.25)
+	a, sa := GenericMCM(g, 0.34, 13, true)
+	b, sb := GenericMCM(g, 0.34, 13, true)
+	if a.Size() != b.Size() || sa.Rounds != sb.Rounds {
+		t.Fatal("nondeterministic generic run")
+	}
+}
+
+func TestGenericRejectsBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0 accepted")
+		}
+	}()
+	GenericMCM(gen.Path(4), 0, 1, true)
+}

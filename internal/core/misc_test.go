@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+func TestCountPathsRejectsNonBipartite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-bipartite accepted")
+		}
+	}()
+	CountPaths(gen.Cycle(5), graph.NewMatching(5), 3)
+}
+
+func TestCountPathsExactRoundCount(t *testing.T) {
+	g := gen.CompleteBipartite(4, 4)
+	m := graph.NewMatching(g.N())
+	for _, ell := range []int{1, 3, 5} {
+		_, stats := CountPaths(g, m, ell)
+		if stats.Rounds != ell {
+			t.Fatalf("ell=%d: %d rounds", ell, stats.Rounds)
+		}
+	}
+}
+
+func TestWeightedItersMonotone(t *testing.T) {
+	// Smaller ε must demand at least as many iterations.
+	prev := 0
+	for _, eps := range []float64{0.4, 0.2, 0.1, 0.05, 0.01} {
+		it := WeightedIters(eps)
+		if it < prev {
+			t.Fatalf("iterations not monotone: eps=%v gives %d < %d", eps, it, prev)
+		}
+		prev = it
+	}
+}
+
+func TestGenericBudgetGrowsWithEllAndN(t *testing.T) {
+	if GenericBudget(100, 3) >= GenericBudget(100, 7) {
+		t.Fatal("budget not growing with ell")
+	}
+	if GenericBudget(10, 3) >= GenericBudget(10000, 3) {
+		t.Fatal("budget not growing with n")
+	}
+}
+
+func TestGenericOnDisconnectedGraph(t *testing.T) {
+	// Two disjoint paths; phases must handle multiple components at once.
+	b := graph.NewBuilder(8)
+	for v := 0; v < 3; v++ {
+		b.AddEdge(v, v+1)
+	}
+	for v := 4; v < 7; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.MustBuild()
+	m, _ := GenericMCM(g, 0.34, 3, true)
+	if m.Size() != 4 { // two P4s, each perfectly matchable
+		t.Fatalf("disconnected: %d, want 4", m.Size())
+	}
+}
+
+func TestBipartiteOnEdgelessGraph(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.SetSide(v, int8(v%2))
+	}
+	g := b.MustBuild()
+	m, stats := BipartiteMCM(g, 3, 1, true)
+	if m.Size() != 0 {
+		t.Fatal("edgeless graph matched")
+	}
+	if stats.Rounds == 0 {
+		t.Fatal("no rounds at all — phases skipped entirely?")
+	}
+}
+
+func TestGeneralOnHypercube(t *testing.T) {
+	g := gen.Hypercube(4) // bipartite but Algorithm 4 must not care
+	m, _ := GeneralMCM(g, 3, 5, GeneralOptions{Oracle: true, IdleStop: 40})
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// Q4 has a perfect matching of 8 edges; guarantee allows >= 2/3·8.
+	if m.Size() < 6 {
+		t.Fatalf("Q4: %d below guarantee", m.Size())
+	}
+}
+
+func TestWeightedTraceLengthValidation(t *testing.T) {
+	g := gen.Path(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong trace length accepted")
+		}
+	}()
+	WeightedMWM(g, 0.25, 1, true, make([]*graph.Matching, 3))
+}
+
+func TestAbstractAlgorithm1OnPlanted(t *testing.T) {
+	g, _ := gen.PlantedBipartite(rng.New(9), 12, 2)
+	m, rounds := AbstractAlgorithm1(g, 0.25, 9)
+	if rounds <= 0 {
+		t.Fatal("no MIS rounds recorded")
+	}
+	if float64(m.Size()) < 0.75*12 {
+		t.Fatalf("abstract algorithm below guarantee on planted instance: %d", m.Size())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// TestWrapGainMatchesBruteForce checks, property-style, that WrapGain(e)
+// equals the actual weight delta of applying wrap(e) to M.
+func TestWrapGainMatchesBruteForce(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(12)
+		g := gen.IntWeights(r.Fork(2), gen.Gnp(r.Fork(1), n, 0.35), 8)
+		m := greedyMaximalEveryOther(g)
+		for e := 0; e < g.M(); e++ {
+			if m.Has(g, e) {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			_ = u
+			_ = v
+			after := ApplyWraps(g, m, []int{e})
+			want := after.Weight(g) - m.Weight(g)
+			if math.Abs(WrapGain(g, m, e)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// greedyMaximalEveryOther builds a deterministic partial matching using
+// every other edge, leaving room for wraps.
+func greedyMaximalEveryOther(g *graph.Graph) *graph.Matching {
+	m := graph.NewMatching(g.N())
+	for e := 0; e < g.M(); e += 2 {
+		u, v := g.Endpoints(e)
+		if m.Free(u) && m.Free(v) {
+			m.Match(g, e)
+		}
+	}
+	return m
+}
+
+// TestBipartiteOnPlantedInstances uses instances with a known perfect
+// matching: the ratio denominator is exact by construction.
+func TestBipartiteOnPlantedInstances(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + r.Intn(40)
+		g, _ := gen.PlantedBipartite(r.Fork(uint64(trial)), n, 2)
+		k := 3
+		m, _ := BipartiteMCM(g, k, uint64(trial), true)
+		if err := m.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+		if float64(m.Size()) < (1-1/float64(k+1))*float64(n)-1e-9 {
+			t.Fatalf("trial %d: %d below guarantee on planted optimum %d", trial, m.Size(), n)
+		}
+	}
+}
+
+// TestBipartiteBlowupPaths forces the algorithm through its deeper phases:
+// disjoint paths of length 2L-1 need augmenting paths of every odd length.
+func TestBipartiteBlowupPaths(t *testing.T) {
+	for _, L := range []int{2, 3, 4} {
+		g := gen.BlowupPath(4, L)
+		k := L
+		m, _ := BipartiteMCM(g, k, uint64(L), true)
+		// Each path of 2L nodes has a perfect matching of L edges.
+		if m.Size() != 4*L {
+			t.Fatalf("L=%d: size %d, want %d", L, m.Size(), 4*L)
+		}
+	}
+}
+
+// TestGeneralOnTorus exercises Algorithm 4 on a structured non-bipartite
+// topology (odd torus contains odd cycles).
+func TestGeneralOnTorus(t *testing.T) {
+	g := gen.Torus(3, 5) // 15 nodes, odd cycles present
+	if g.IsBipartite() {
+		t.Fatal("3x5 torus should not be bipartite")
+	}
+	opt := exact.BlossomMCM(g).Size()
+	m, _ := GeneralMCM(g, 3, 11, GeneralOptions{Oracle: true, IdleStop: 60})
+	if float64(m.Size()) < (2.0/3.0)*float64(opt)-1e-9 {
+		t.Fatalf("torus: %d below guarantee (opt %d)", m.Size(), opt)
+	}
+}
+
+// TestGenericOnHypercube runs the LOCAL algorithm on Q3.
+func TestGenericOnHypercube(t *testing.T) {
+	g := gen.Hypercube(3)
+	m, _ := GenericMCM(g, 0.34, 13, true)
+	if m.Size() != 4 { // Q3 has a perfect matching
+		t.Fatalf("Q3 matching %d, want 4", m.Size())
+	}
+}
+
+// TestWeightedIsNeverWorseThanBlackBoxAlone: Algorithm 5's result must
+// weigh at least as much as a single black-box invocation on the original
+// weights (iteration 1 starts from the empty matching, so M_1 is exactly
+// that; later iterations only add weight).
+func TestWeightedIsNeverWorseThanBlackBoxAlone(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(14)
+		g := gen.UniformWeights(r.Fork(uint64(trial+100)), gen.Gnp(r.Fork(uint64(trial)), n, 0.3), 1, 9)
+		eps := 0.2
+		iters := WeightedIters(eps)
+		trace := make([]*graph.Matching, iters+1)
+		m, _ := WeightedMWM(g, eps, uint64(trial), true, trace)
+		if m.Weight(g)+1e-9 < trace[1].Weight(g) {
+			t.Fatalf("trial %d: final %v below first iteration %v", trial, m.Weight(g), trace[1].Weight(g))
+		}
+	}
+}
+
+// TestCountPathsLemma36SizeBound verifies n_v <= Δ^{⌈d(v)/2⌉} (the message
+// size bound inside Lemma 3.6).
+func TestCountPathsLemma36SizeBound(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), 10, 10, 0.3)
+		m := greedyMaximalEveryOther(g)
+		for _, ell := range []int{3, 5} {
+			counts, _ := CountPaths(g, m, ell)
+			for v := 0; v < g.N(); v++ {
+				if counts[v] <= 0 {
+					continue
+				}
+				// d(v) <= ell, so the loosest admissible bound is
+				// Δ^{⌈ell/2⌉}; check against that.
+				bound := math.Pow(float64(g.MaxDegree()), math.Ceil(float64(ell)/2))
+				if counts[v] > bound {
+					t.Fatalf("trial %d: n_%d = %v exceeds Δ^{⌈ℓ/2⌉} = %v", trial, v, counts[v], bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickBipartiteAlwaysValid fuzzes BipartiteMCM across seeds and sizes:
+// the output must always be a valid matching meeting the guarantee.
+func TestQuickBipartiteAlwaysValid(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		nx := 2 + r.Intn(10)
+		ny := 2 + r.Intn(10)
+		g := gen.BipartiteGnp(r.Fork(3), nx, ny, 0.3)
+		k := 2 + r.Intn(2)
+		m, _ := BipartiteMCM(g, k, seed, true)
+		if m.Verify(g) != nil {
+			return false
+		}
+		opt := exact.HopcroftKarp(g).Size()
+		return float64(m.Size()) >= (1-1/float64(k+1))*float64(opt)-1e-9
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

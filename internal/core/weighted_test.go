@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+func TestWrapGainBasics(t *testing.T) {
+	g, m, _ := gen.Figure2Instance()
+	// w_M(b,c) = 5 - 2 = 3; w_M(d,e) = 4 - 2 = 2; w_M(p,q) = 17 - 12 = 5.
+	if got := WrapGain(g, m, g.EdgeBetween(1, 2)); got != 3 {
+		t.Fatalf("wM(b,c) = %v, want 3", got)
+	}
+	if got := WrapGain(g, m, g.EdgeBetween(3, 4)); got != 2 {
+		t.Fatalf("wM(d,e) = %v, want 2", got)
+	}
+	if got := WrapGain(g, m, g.EdgeBetween(6, 7)); got != 5 {
+		t.Fatalf("wM(p,q) = %v, want 5", got)
+	}
+	// Matched edges have w_M = 0.
+	if got := WrapGain(g, m, g.EdgeBetween(2, 3)); got != 0 {
+		t.Fatalf("wM on matched edge = %v, want 0", got)
+	}
+	// Negative gains exist: (a,b) has w=1 against matched (c,d)=2 at b? a=0
+	// free, b=1 free -> gain 1. (r,s): r matched with 12: 3-12 = -9.
+	if got := WrapGain(g, m, g.EdgeBetween(8, 9)); got != -9 {
+		t.Fatalf("wM(r,s) = %v, want -9", got)
+	}
+}
+
+func TestFigure2Reproduction(t *testing.T) {
+	// The paper's Figure 2 arithmetic: w(M)=14, w_M(M')=10, w(M'')=26 >= 24.
+	g, m, mPrime := gen.Figure2Instance()
+	if w := m.Weight(g); w != 14 {
+		t.Fatalf("w(M) = %v, want 14", w)
+	}
+	if wm := GainOfSet(g, m, mPrime); wm != 10 {
+		t.Fatalf("w_M(M') = %v, want 10", wm)
+	}
+	m2 := ApplyWraps(g, m, mPrime)
+	if err := m2.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if w := m2.Weight(g); w != 26 {
+		t.Fatalf("w(M'') = %v, want 26", w)
+	}
+	if m2.Weight(g) < m.Weight(g)+GainOfSet(g, m, mPrime) {
+		t.Fatal("Lemma 4.1 inequality violated on Figure 2")
+	}
+}
+
+func TestLemma41OnRandomInstances(t *testing.T) {
+	// Lemma 4.1: for disjoint matchings M, M', M ⊕ ⋃ wrap(e) is a matching
+	// with weight >= w(M) + w_M(M').
+	r := rng.New(1)
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + r.Intn(14)
+		g := gen.IntWeights(r.Fork(uint64(trial+100)), gen.Gnp(r.Fork(uint64(trial)), n, 0.3), 9)
+		// M: greedy maximal on half the edges; M': greedy on w_M-positive
+		// remaining edges.
+		m := graph.NewMatching(g.N())
+		for e := 0; e < g.M(); e += 2 {
+			u, v := g.Endpoints(e)
+			if m.Free(u) && m.Free(v) {
+				m.Match(g, e)
+			}
+		}
+		var mPrime []int
+		used := make([]bool, g.N())
+		for e := 0; e < g.M(); e++ {
+			if m.Has(g, e) || WrapGain(g, m, e) <= 0 {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			if used[u] || used[v] {
+				continue
+			}
+			used[u], used[v] = true, true
+			mPrime = append(mPrime, e)
+		}
+		m2 := ApplyWraps(g, m, mPrime)
+		if err := m2.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if m2.Weight(g) < m.Weight(g)+GainOfSet(g, m, mPrime)-1e-9 {
+			t.Fatalf("trial %d: w(M'')=%v < w(M)+wM(M')=%v",
+				trial, m2.Weight(g), m.Weight(g)+GainOfSet(g, m, mPrime))
+		}
+	}
+}
+
+func TestWeightedGuaranteeRandom(t *testing.T) {
+	r := rng.New(2)
+	const eps = 0.1
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + r.Intn(12)
+		g := gen.UniformWeights(r.Fork(uint64(trial+100)), gen.Gnp(r.Fork(uint64(trial)), n, 0.3), 1, 10)
+		m, _ := WeightedMWM(g, eps, uint64(trial), true, nil)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := exact.MWM(g, false).Weight(g)
+		if m.Weight(g) < (0.5-eps)*opt-1e-9 {
+			t.Fatalf("trial %d: %.3f < (1/2-ε)·%.3f", trial, m.Weight(g), opt)
+		}
+	}
+}
+
+func TestWeightedOnAdversarialChain(t *testing.T) {
+	g := gen.AdversarialChain(40)
+	m, _ := WeightedMWM(g, 0.1, 3, true, nil)
+	opt := exact.MWM(g, false).Weight(g)
+	if m.Weight(g) < 0.4*opt {
+		t.Fatalf("chain: %.1f below (1/2-ε) of %.1f", m.Weight(g), opt)
+	}
+}
+
+func TestWeightedTraceMonotoneAndBounded(t *testing.T) {
+	// Lemma 4.3: w(M_i) >= 1/2 (1 - e^{-2δi/3}) w(M*). The trace must also
+	// be (weakly) increasing in weight — wraps never decrease the weight
+	// because only positive-gain edges enter M'.
+	r := rng.New(3)
+	g := gen.UniformWeights(r.Fork(1), gen.Gnp(r.Fork(2), 16, 0.3), 1, 8)
+	eps := 0.1
+	iters := WeightedIters(eps)
+	trace := make([]*graph.Matching, iters+1)
+	_, _ = WeightedMWM(g, eps, 5, true, trace)
+	opt := exact.MWM(g, false).Weight(g)
+	prev := -1.0
+	for i, mi := range trace {
+		w := mi.Weight(g)
+		if w < prev-1e-9 {
+			t.Fatalf("iteration %d decreased weight: %v -> %v", i, prev, w)
+		}
+		prev = w
+		bound := 0.5 * (1 - math.Exp(-2*Delta*float64(i)/3)) * opt
+		if w < bound-1e-9 {
+			t.Fatalf("iteration %d: w(M_%d)=%.3f below Lemma 4.3 bound %.3f", i, i, w, bound)
+		}
+	}
+}
+
+func TestWeightedItersFormula(t *testing.T) {
+	// (3/2δ)·ln(2/ε) with δ=1/5: ε=0.1 → 7.5·ln 20 ≈ 22.47 → 23.
+	if got := WeightedIters(0.1); got != 23 {
+		t.Fatalf("WeightedIters(0.1) = %d, want 23", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0.6 accepted")
+		}
+	}()
+	WeightedIters(0.6)
+}
+
+func TestWeightedZeroWeightGraph(t *testing.T) {
+	g := gen.Reweight(gen.Path(8), func(e, u, v int) float64 { return 0 })
+	m, _ := WeightedMWM(g, 0.2, 7, true, nil)
+	if m.Weight(g) != 0 {
+		t.Fatal("zero-weight graph produced weight")
+	}
+}
+
+func TestWeightedDeterminism(t *testing.T) {
+	r := rng.New(4)
+	g := gen.UniformWeights(r.Fork(1), gen.Gnp(r.Fork(2), 14, 0.3), 1, 5)
+	a, _ := WeightedMWM(g, 0.2, 9, true, nil)
+	b, _ := WeightedMWM(g, 0.2, 9, true, nil)
+	if math.Abs(a.Weight(g)-b.Weight(g)) > 0 {
+		t.Fatal("nondeterministic weighted matching")
+	}
+}

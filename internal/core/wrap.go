@@ -1,0 +1,77 @@
+package core
+
+import "distmatch/internal/graph"
+
+// This file holds the centralized §4 preliminaries: wrap(e), the gain g(P),
+// and the derived weight function w_M. They define the semantics that the
+// distributed Algorithm 5 (weighted.go) implements with messages, and they
+// power the Figure 2 reproduction and the Lemma 4.1 property tests.
+
+// WrapGain returns w_M(u,v) for the non-matching edge e = (u,v): the gain
+// in total weight if e were added to M and the matched edges at u and v
+// (if any) removed — g(wrap(e)) in the paper's notation. For matched edges
+// w_M is defined as 0.
+//
+// The subtraction is performed in a canonical order (lower endpoint's
+// matched weight first) so that independent distributed computations at
+// both endpoints produce bit-identical floats.
+func WrapGain(g *graph.Graph, m *graph.Matching, e int) float64 {
+	if m.Has(g, e) {
+		return 0
+	}
+	u, v := g.Endpoints(e) // u < v by Graph invariant
+	gain := g.Weight(e)
+	if eu := m.MatchedEdge(u); eu >= 0 {
+		gain -= g.Weight(eu)
+	}
+	if ev := m.MatchedEdge(v); ev >= 0 {
+		gain -= g.Weight(ev)
+	}
+	return gain
+}
+
+// WrapEdges returns the edge set wrap(e) = {(M(r),r), (r,s), (s,M(s))} for
+// the non-matching edge e = (r,s); absent matched edges are omitted.
+func WrapEdges(g *graph.Graph, m *graph.Matching, e int) []int {
+	u, v := g.Endpoints(e)
+	out := []int{e}
+	if eu := m.MatchedEdge(u); eu >= 0 {
+		out = append(out, eu)
+	}
+	if ev := m.MatchedEdge(v); ev >= 0 {
+		out = append(out, ev)
+	}
+	return out
+}
+
+// ApplyWraps returns M ⊕ ⋃_{e∈mPrime} wrap(e) (Lemma 4.1). mPrime must be a
+// matching edge-set disjoint from M; the wraps may overlap at M-edges only,
+// and the result is again a matching.
+func ApplyWraps(g *graph.Graph, m *graph.Matching, mPrime []int) *graph.Matching {
+	// Union of wraps with multiplicity collapsed (a doubly-removed M edge
+	// appears once in the union, exactly as the paper's set union).
+	union := map[int]bool{}
+	for _, e := range mPrime {
+		for _, x := range WrapEdges(g, m, e) {
+			union[x] = true
+		}
+	}
+	edges := make([]int, 0, len(union))
+	for e := range union {
+		edges = append(edges, e)
+	}
+	res, err := m.SymDiff(g, edges)
+	if err != nil {
+		panic("core: ApplyWraps produced a non-matching: " + err.Error())
+	}
+	return res
+}
+
+// GainOfSet returns w_M(P) = Σ_{e∈P} WrapGain(e) for an edge set P.
+func GainOfSet(g *graph.Graph, m *graph.Matching, edges []int) float64 {
+	s := 0.0
+	for _, e := range edges {
+		s += WrapGain(g, m, e)
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package exact
+
+import "distmatch/internal/graph"
+
+// BlossomMCM returns a maximum-cardinality matching of an arbitrary graph
+// using Edmonds' blossom-contraction algorithm in O(V³) time.
+func BlossomMCM(g *graph.Graph) *graph.Matching {
+	n := g.N()
+	match := make([]int32, n)
+	parent := make([]int32, n)
+	base := make([]int32, n)
+	used := make([]bool, n)
+	inBlossom := make([]bool, n)
+	queue := make([]int32, 0, n)
+
+	for i := range match {
+		match[i] = -1
+	}
+
+	lca := func(a, b int32) int32 {
+		seen := make([]bool, n)
+		for {
+			a = base[a]
+			seen[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = parent[match[a]]
+		}
+		for {
+			b = base[b]
+			if seen[b] {
+				return b
+			}
+			b = parent[match[b]]
+		}
+	}
+
+	markPath := func(v, b, child int32) {
+		for base[v] != b {
+			inBlossom[base[v]] = true
+			inBlossom[base[match[v]]] = true
+			parent[v] = child
+			child = match[v]
+			v = parent[match[v]]
+		}
+	}
+
+	// findPath grows an alternating tree from root; returns the exposed
+	// endpoint of an augmenting path, or -1.
+	findPath := func(root int32) int32 {
+		for i := range used {
+			used[i] = false
+			parent[i] = -1
+			base[i] = int32(i)
+		}
+		used[root] = true
+		queue = append(queue[:0], root)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for p := 0; p < g.Deg(int(v)); p++ {
+				to := int32(g.NbrAt(int(v), p))
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && parent[match[to]] != -1) {
+					// Odd cycle: contract the blossom.
+					curBase := lca(v, to)
+					for i := range inBlossom {
+						inBlossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := int32(0); i < int32(n); i++ {
+						if inBlossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								queue = append(queue, i)
+							}
+						}
+					}
+				} else if parent[to] == -1 {
+					parent[to] = v
+					if match[to] == -1 {
+						return to
+					}
+					used[match[to]] = true
+					queue = append(queue, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := int32(0); v < int32(n); v++ {
+		if match[v] != -1 {
+			continue
+		}
+		u := findPath(v)
+		for u != -1 {
+			pv := parent[u]
+			ppv := match[pv]
+			match[u] = pv
+			match[pv] = u
+			u = ppv
+		}
+	}
+
+	m := graph.NewMatching(n)
+	for v := 0; v < n; v++ {
+		if match[v] != -1 && v < int(match[v]) {
+			m.Match(g, g.EdgeBetween(v, int(match[v])))
+		}
+	}
+	return m
+}
+
+// MaxCardinality returns a maximum-cardinality matching, dispatching to
+// Hopcroft–Karp for bipartite inputs and Edmonds' blossom algorithm
+// otherwise.
+func MaxCardinality(g *graph.Graph) *graph.Matching {
+	if g.IsBipartite() {
+		return HopcroftKarp(g)
+	}
+	return BlossomMCM(g)
+}

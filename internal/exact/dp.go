@@ -1,0 +1,77 @@
+package exact
+
+import (
+	"distmatch/internal/graph"
+)
+
+// dpLimit bounds the bitmask DP to keep memory at ~2^22 float64s.
+const dpLimit = 22
+
+// DPMaxWeight returns an exact maximum-weight matching by O(2ⁿ·n) dynamic
+// programming over vertex subsets. It exists as an independent cross-check
+// for MWM (Galil's algorithm) in property-based tests; it panics for graphs
+// with more than 22 nodes.
+func DPMaxWeight(g *graph.Graph) *graph.Matching {
+	return dpMatch(g, func(e int) float64 { return g.Weight(e) })
+}
+
+// DPMaxCardinality is DPMaxWeight with unit weights.
+func DPMaxCardinality(g *graph.Graph) *graph.Matching {
+	return dpMatch(g, func(e int) float64 { return 1 })
+}
+
+func dpMatch(g *graph.Graph, weight func(e int) float64) *graph.Matching {
+	n := g.N()
+	if n > dpLimit {
+		panic("exact: DP matcher limited to 22 nodes")
+	}
+	size := 1 << n
+	dp := make([]float64, size)
+	choice := make([]int32, size) // edge chosen for lowest set bit, -1 = skip
+	for mask := 1; mask < size; mask++ {
+		v := lowBit(mask)
+		best := dp[mask&^(1<<v)] // leave v unmatched
+		bestE := int32(-1)
+		for p := 0; p < g.Deg(v); p++ {
+			u := g.NbrAt(v, p)
+			if mask&(1<<u) == 0 || u == v {
+				continue
+			}
+			e := g.EdgeAt(v, p)
+			w := weight(e)
+			if w <= 0 {
+				continue
+			}
+			cand := w + dp[mask&^(1<<v)&^(1<<u)]
+			if cand > best {
+				best = cand
+				bestE = int32(e)
+			}
+		}
+		dp[mask] = best
+		choice[mask] = bestE
+	}
+	m := graph.NewMatching(n)
+	mask := size - 1
+	for mask != 0 {
+		v := lowBit(mask)
+		e := choice[mask]
+		if e == -1 {
+			mask &^= 1 << v
+			continue
+		}
+		m.Match(g, int(e))
+		u := g.Other(int(e), v)
+		mask = mask &^ (1 << v) &^ (1 << u)
+	}
+	return m
+}
+
+func lowBit(mask int) int {
+	v := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		v++
+	}
+	return v
+}

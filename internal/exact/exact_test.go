@@ -1,0 +1,263 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+const eps = 1e-9
+
+func TestHopcroftKarpSmall(t *testing.T) {
+	// Perfect matching on C4.
+	g := gen.Cycle(4)
+	m := HopcroftKarp(g)
+	if m.Size() != 2 {
+		t.Fatalf("C4 MCM = %d, want 2", m.Size())
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopcroftKarpStar(t *testing.T) {
+	g := gen.Star(6)
+	m := HopcroftKarp(g)
+	if m.Size() != 1 {
+		t.Fatalf("star MCM = %d, want 1", m.Size())
+	}
+}
+
+func TestHopcroftKarpCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(4, 7)
+	m := HopcroftKarp(g)
+	if m.Size() != 4 {
+		t.Fatalf("K(4,7) MCM = %d, want 4", m.Size())
+	}
+}
+
+func TestHopcroftKarpMatchesDP(t *testing.T) {
+	r := rng.New(100)
+	for trial := 0; trial < 60; trial++ {
+		nx := 1 + r.Intn(8)
+		ny := 1 + r.Intn(8)
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), nx, ny, 0.4)
+		hk := HopcroftKarp(g)
+		dp := DPMaxCardinality(g)
+		if hk.Size() != dp.Size() {
+			t.Fatalf("trial %d: HK %d != DP %d on %v", trial, hk.Size(), dp.Size(), g)
+		}
+		if err := hk.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBlossomOddCycle(t *testing.T) {
+	g := gen.Cycle(5)
+	m := BlossomMCM(g)
+	if m.Size() != 2 {
+		t.Fatalf("C5 MCM = %d, want 2", m.Size())
+	}
+}
+
+func TestBlossomPetersenLike(t *testing.T) {
+	// Two triangles joined by a bridge: MCM = 3.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if m := BlossomMCM(g); m.Size() != 3 {
+		t.Fatalf("two triangles MCM = %d, want 3", m.Size())
+	}
+}
+
+func TestBlossomMatchesDP(t *testing.T) {
+	r := rng.New(200)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(12)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.35)
+		bl := BlossomMCM(g)
+		dp := DPMaxCardinality(g)
+		if bl.Size() != dp.Size() {
+			t.Fatalf("trial %d: blossom %d != DP %d", trial, bl.Size(), dp.Size())
+		}
+		if err := bl.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxCardinalityDispatch(t *testing.T) {
+	if m := MaxCardinality(gen.Cycle(4)); m.Size() != 2 {
+		t.Fatal("bipartite dispatch broken")
+	}
+	if m := MaxCardinality(gen.Cycle(5)); m.Size() != 2 {
+		t.Fatal("general dispatch broken")
+	}
+}
+
+func TestMWMTriangle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 4)
+	b.AddWeightedEdge(0, 2, 3)
+	g := b.MustBuild()
+	m := MWM(g, false)
+	if w := m.Weight(g); w != 5 {
+		t.Fatalf("triangle MWM weight %v, want 5", w)
+	}
+}
+
+func TestMWMPrefersWeightOverCardinality(t *testing.T) {
+	// Path with heavy middle edge: MWM picks the single heavy edge.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(1, 2, 10)
+	b.AddWeightedEdge(2, 3, 1)
+	g := b.MustBuild()
+	if w := MWM(g, false).Weight(g); w != 10 {
+		t.Fatalf("MWM weight %v, want 10", w)
+	}
+	// Under maxCardinality it must take two edges.
+	mc := MWM(g, true)
+	if mc.Size() != 2 {
+		t.Fatalf("max-cardinality MWM size %d, want 2", mc.Size())
+	}
+	if w := mc.Weight(g); w != 2 {
+		t.Fatalf("max-cardinality MWM weight %v, want 2", w)
+	}
+}
+
+func TestMWMMatchesDPRandom(t *testing.T) {
+	r := rng.New(300)
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.Intn(11)
+		g0 := gen.Gnp(r.Fork(uint64(trial)), n, 0.45)
+		g := gen.IntWeights(r.Fork(uint64(1000+trial)), g0, 12)
+		mw := MWM(g, false)
+		dp := DPMaxWeight(g)
+		if err := mw.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(mw.Weight(g)-dp.Weight(g)) > eps {
+			t.Fatalf("trial %d (n=%d m=%d): MWM %v != DP %v",
+				trial, n, g.M(), mw.Weight(g), dp.Weight(g))
+		}
+	}
+}
+
+func TestMWMMatchesDPFloatWeights(t *testing.T) {
+	r := rng.New(400)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(10)
+		g0 := gen.Gnp(r.Fork(uint64(trial)), n, 0.5)
+		g := gen.UniformWeights(r.Fork(uint64(2000+trial)), g0, 0.1, 10)
+		mw := MWM(g, false)
+		dp := DPMaxWeight(g)
+		if math.Abs(mw.Weight(g)-dp.Weight(g)) > 1e-6 {
+			t.Fatalf("trial %d: MWM %v != DP %v", trial, mw.Weight(g), dp.Weight(g))
+		}
+	}
+}
+
+func TestMWMMaxCardinalityMatchesBlossomSize(t *testing.T) {
+	r := rng.New(500)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(12)
+		g0 := gen.Gnp(r.Fork(uint64(trial)), n, 0.4)
+		g := gen.IntWeights(r.Fork(uint64(3000+trial)), g0, 9)
+		mc := MWM(g, true)
+		bl := BlossomMCM(g)
+		if mc.Size() != bl.Size() {
+			t.Fatalf("trial %d: MWM maxcard size %d != blossom %d", trial, mc.Size(), bl.Size())
+		}
+	}
+}
+
+func TestGreedyHalfApprox(t *testing.T) {
+	r := rng.New(600)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(12)
+		g0 := gen.Gnp(r.Fork(uint64(trial)), n, 0.4)
+		g := gen.IntWeights(r.Fork(uint64(4000+trial)), g0, 20)
+		gr := GreedyMWM(g)
+		opt := DPMaxWeight(g)
+		if err := gr.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+		if gr.Weight(g) < opt.Weight(g)/2-eps {
+			t.Fatalf("greedy %v below half of optimum %v", gr.Weight(g), opt.Weight(g))
+		}
+	}
+}
+
+func TestAllAugmentingPathsBasic(t *testing.T) {
+	// Path 0-1-2-3 with (1,2) matched: exactly one augmenting path of len 3.
+	g := gen.Path(4)
+	m := graph.NewMatching(4)
+	m.Match(g, g.EdgeBetween(1, 2))
+	ps := AllAugmentingPaths(g, m, 3)
+	if len(ps) != 1 || len(ps[0]) != 4 {
+		t.Fatalf("paths: %v", ps)
+	}
+	if ps[0][0] != 0 || ps[0][3] != 3 {
+		t.Fatalf("path orientation: %v", ps[0])
+	}
+	// With empty matching: the three single edges.
+	m0 := graph.NewMatching(4)
+	ps0 := AllAugmentingPaths(g, m0, 5)
+	if len(ps0) != 3 {
+		t.Fatalf("empty-matching paths: %v", ps0)
+	}
+}
+
+func TestShortestAugmentingPathLen(t *testing.T) {
+	g := gen.Path(6)
+	m := graph.NewMatching(6)
+	m.Match(g, g.EdgeBetween(1, 2))
+	m.Match(g, g.EdgeBetween(3, 4))
+	// Shortest augmenting path is 0-1-2-3-4-5, length 5.
+	if l := ShortestAugmentingPathLen(g, m, 9); l != 5 {
+		t.Fatalf("shortest %d want 5", l)
+	}
+	mm := MaxCardinality(g)
+	if l := ShortestAugmentingPathLen(g, mm, 9); l != -1 {
+		t.Fatalf("max matching has augmenting path of len %d", l)
+	}
+}
+
+func TestCountPathsEndingAtFigure1(t *testing.T) {
+	g, m, freeY, want := gen.Figure1Instance()
+	counts := CountPathsEndingAt(g, m, 3, 0)
+	if counts[freeY] != want {
+		t.Fatalf("Figure 1 brute-force count at free Y = %d, want %d", counts[freeY], want)
+	}
+}
+
+func TestAugmentingPathCountMatchesHKGap(t *testing.T) {
+	// Sanity: a matching below maximum must admit at least one augmenting
+	// path (Berge), found by the enumerator given a large enough bound.
+	r := rng.New(700)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(10)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.4)
+		opt := BlossomMCM(g)
+		m := GreedyMWM(g) // maximal, may be below optimum
+		if m.Size() < opt.Size() {
+			if CountAugmentingPaths(g, m, n) == 0 {
+				t.Fatalf("trial %d: sub-optimal matching with no augmenting path", trial)
+			}
+		} else if l := ShortestAugmentingPathLen(g, m, n); l != -1 {
+			t.Fatalf("trial %d: optimal matching has augmenting path", trial)
+		}
+	}
+}

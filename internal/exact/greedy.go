@@ -1,0 +1,37 @@
+package exact
+
+import (
+	"sort"
+
+	"distmatch/internal/graph"
+)
+
+// GreedyMWM is the classical centralized greedy: repeatedly add the heaviest
+// remaining edge and discard its neighbors. It guarantees a ½-approximation
+// of the maximum-weight matching (and of maximum cardinality under unit
+// weights) — the "straightforward" baseline the paper's introduction cites
+// ([25, 6]). Ties break by edge id for determinism.
+func GreedyMWM(g *graph.Graph) *graph.Matching {
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := order[a], order[b]
+		if g.Weight(ea) != g.Weight(eb) {
+			return g.Weight(ea) > g.Weight(eb)
+		}
+		return ea < eb
+	})
+	m := graph.NewMatching(g.N())
+	for _, e := range order {
+		if g.Weight(e) <= 0 {
+			break
+		}
+		u, v := g.Endpoints(e)
+		if m.Free(u) && m.Free(v) {
+			m.Match(g, e)
+		}
+	}
+	return m
+}

@@ -1,0 +1,120 @@
+package exact
+
+// Property tests for the two Hopcroft–Karp facts the paper quotes as
+// Lemmas 3.4 and 3.5 — the correctness backbone of Algorithms 1 and 3.
+
+import (
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// maximalDisjointPathsOfLen greedily selects a maximal set of pairwise
+// node-disjoint augmenting paths of exactly the given length.
+func maximalDisjointPathsOfLen(g *graph.Graph, m *graph.Matching, length int) [][]int {
+	var chosen [][]int
+	used := make([]bool, g.N())
+	for _, p := range AllAugmentingPaths(g, m, length) {
+		if len(p)-1 != length {
+			continue
+		}
+		ok := true
+		for _, v := range p {
+			if used[v] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, v := range p {
+			used[v] = true
+		}
+		chosen = append(chosen, p)
+	}
+	return chosen
+}
+
+func TestLemma34ShortestLengthIncreases(t *testing.T) {
+	// Lemma 3.4: applying a maximal set of shortest (length ℓ) augmenting
+	// paths pushes the shortest augmenting path length beyond ℓ.
+	r := rng.New(1)
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + r.Intn(10)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.3)
+		m := graph.NewMatching(g.N())
+		// Random partial matching.
+		mr := r.Fork(uint64(trial + 500))
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(e)
+			if m.Free(u) && m.Free(v) && mr.Bool() {
+				m.Match(g, e)
+			}
+		}
+		ell := ShortestAugmentingPathLen(g, m, n)
+		if ell == -1 {
+			continue
+		}
+		checked++
+		for _, p := range maximalDisjointPathsOfLen(g, m, ell) {
+			m.AugmentPath(g, p)
+		}
+		if after := ShortestAugmentingPathLen(g, m, n); after != -1 && after <= ell {
+			t.Fatalf("trial %d: shortest length %d did not increase past %d", trial, after, ell)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few usable instances: %d", checked)
+	}
+}
+
+func TestLemma35ApproximationFromPathLength(t *testing.T) {
+	// Lemma 3.5: if the shortest augmenting path has length 2k−1 then
+	// |M| ≥ (1 − 1/k)|M*|.
+	r := rng.New(2)
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + r.Intn(10)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.35)
+		m := GreedyMWM(g) // maximal ⇒ shortest augmenting path ≥ 3
+		ell := ShortestAugmentingPathLen(g, m, n)
+		if ell == -1 {
+			// M is optimal; the lemma is vacuous but the ratio is 1.
+			continue
+		}
+		checked++
+		k := (ell + 1) / 2
+		opt := BlossomMCM(g).Size()
+		if float64(m.Size()) < (1-1/float64(k))*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: |M|=%d, shortest=%d, opt=%d violates Lemma 3.5",
+				trial, m.Size(), ell, opt)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("too few usable instances: %d", checked)
+	}
+}
+
+func TestBergeOptimalityCharacterization(t *testing.T) {
+	// Berge's theorem underlies everything: M maximum ⟺ no augmenting
+	// path. Cross-check the enumerator against the exact matchers both ways.
+	r := rng.New(3)
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + r.Intn(9)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.35)
+		opt := BlossomMCM(g)
+		if l := ShortestAugmentingPathLen(g, opt, n); l != -1 {
+			t.Fatalf("trial %d: maximum matching has augmenting path of length %d", trial, l)
+		}
+		sub := GreedyMWM(g)
+		if sub.Size() < opt.Size() {
+			if l := ShortestAugmentingPathLen(g, sub, n); l == -1 {
+				t.Fatalf("trial %d: sub-optimal matching reported augmenting-path-free", trial)
+			}
+		}
+	}
+}

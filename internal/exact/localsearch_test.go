@@ -1,0 +1,104 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+func TestLocalSearchExactWithLargeK(t *testing.T) {
+	// With k >= n/2 every augmentation is available: local optimum = global.
+	r := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(8)
+		g := gen.IntWeights(r.Fork(uint64(trial+100)), gen.Gnp(r.Fork(uint64(trial)), n, 0.4), 9)
+		ls := LocalSearchMWM(g, n)
+		opt := DPMaxWeight(g)
+		if err := ls.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(ls.Weight(g)-opt.Weight(g)) > 1e-9 {
+			t.Fatalf("trial %d: local search %v != opt %v", trial, ls.Weight(g), opt.Weight(g))
+		}
+	}
+}
+
+func TestLocalSearchLemma42Bound(t *testing.T) {
+	// Lemma 4.2 implies any local optimum w.r.t. <=k unmatched-edge
+	// augmentations has w(M) >= k/(k+1) w(M*). Check k = 1, 2, 3.
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(10)
+		g := gen.UniformWeights(r.Fork(uint64(trial+100)), gen.Gnp(r.Fork(uint64(trial)), n, 0.35), 0.5, 10)
+		opt := MWM(g, false).Weight(g)
+		for k := 1; k <= 3; k++ {
+			ls := LocalSearchMWM(g, k)
+			bound := float64(k) / float64(k+1) * opt
+			if ls.Weight(g) < bound-1e-9 {
+				t.Fatalf("trial %d k=%d: %v below k/(k+1) bound %v (opt %v)",
+					trial, k, ls.Weight(g), bound, opt)
+			}
+		}
+	}
+}
+
+func TestLocalSearchCyclesMatter(t *testing.T) {
+	// A 4-cycle with a heavy opposite pair: starting greedy would lock the
+	// light pair; cycle augmentation recovers the optimum.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 4)
+	b.AddWeightedEdge(2, 3, 5)
+	b.AddWeightedEdge(3, 0, 4)
+	g := b.MustBuild()
+	ls := LocalSearchMWM(g, 2)
+	if ls.Weight(g) != 10 {
+		t.Fatalf("C4 local search weight %v, want 10", ls.Weight(g))
+	}
+}
+
+func TestLocalSearchK1IsGreedyLike(t *testing.T) {
+	// k=1 augmentations include wrap-style moves; the result must be at
+	// least 1/2 of the optimum.
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		g := gen.IntWeights(r.Fork(uint64(trial+50)), gen.Gnp(r.Fork(uint64(trial)), 10, 0.4), 7)
+		ls := LocalSearchMWM(g, 1)
+		opt := DPMaxWeight(g).Weight(g)
+		if ls.Weight(g) < opt/2-1e-9 {
+			t.Fatalf("trial %d: k=1 below half: %v of %v", trial, ls.Weight(g), opt)
+		}
+	}
+}
+
+func TestLocalSearchEmptyAndTrivial(t *testing.T) {
+	g := gen.Path(1)
+	if LocalSearchMWM(g, 2).Size() != 0 {
+		t.Fatal("single node matched")
+	}
+	g2 := gen.Path(2)
+	if LocalSearchMWM(g2, 1).Size() != 1 {
+		t.Fatal("single edge not matched")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	LocalSearchMWM(g2, 0)
+}
+
+func TestLocalSearchNegativeWeightsIgnored(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, -3)
+	b.AddWeightedEdge(1, 2, 5)
+	b.AddWeightedEdge(2, 3, -2)
+	g := b.MustBuild()
+	ls := LocalSearchMWM(g, 3)
+	if ls.Weight(g) != 5 || ls.Size() != 1 {
+		t.Fatalf("negative weights mishandled: %v", ls.Weight(g))
+	}
+}

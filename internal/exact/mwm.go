@@ -1,0 +1,618 @@
+package exact
+
+import "distmatch/internal/graph"
+
+// MWM returns an exact maximum-weight matching of an arbitrary weighted
+// graph, using Galil's O(n³) primal-dual blossom algorithm (in the
+// formulation popularized by van Rantwijk). If maxCardinality is true it
+// returns a maximum-weight matching among maximum-cardinality matchings.
+//
+// This is the reference optimum against which the paper's (½−ε)-MWM
+// (Algorithm 5) and the (¼−ε)-MWM black box are measured. Its correctness
+// is cross-checked in tests against the O(2ⁿ·n) DP on every random small
+// instance.
+func MWM(g *graph.Graph, maxCardinality bool) *graph.Matching {
+	n := g.N()
+	m := g.M()
+	out := graph.NewMatching(n)
+	if n == 0 || m == 0 {
+		return out
+	}
+	s := newMWMSolver(g, maxCardinality)
+	s.solve()
+	for v := 0; v < n; v++ {
+		if s.mate[v] >= 0 {
+			u := s.endpoint[s.mate[v]]
+			if v < u {
+				out.Match(g, g.EdgeBetween(v, u))
+			}
+		}
+	}
+	return out
+}
+
+// mwmSolver holds the primal-dual state. Indices 0..n-1 are vertices,
+// n..2n-1 are (potential) blossoms. "Endpoints" are directed edge slots:
+// endpoint 2k and 2k+1 are the two ends of edge k.
+type mwmSolver struct {
+	g       *graph.Graph
+	n, m    int
+	maxCard bool
+
+	endpoint []int   // endpoint[p] = vertex at slot p
+	neighb   [][]int // neighb[v] = list of p with endpoint[p^1] == v
+
+	mate     []int // mate[v] = endpoint slot of v's partner, -1 if free
+	label    []int // 0 free, 1 = S, 2 = T (indexed by vertex/blossom)
+	labelEnd []int // endpoint slot through which the label was obtained
+	inBloss  []int // top-level blossom containing each vertex
+
+	blossParent []int
+	blossChilds [][]int
+	blossBase   []int
+	blossEndps  [][]int
+	bestEdge    []int
+	blossBest   [][]int
+	unusedBloss []int
+	dualVar     []float64
+	allowEdge   []bool
+	queue       []int
+}
+
+func newMWMSolver(g *graph.Graph, maxCard bool) *mwmSolver {
+	n, m := g.N(), g.M()
+	s := &mwmSolver{g: g, n: n, m: m, maxCard: maxCard}
+	s.endpoint = make([]int, 2*m)
+	s.neighb = make([][]int, n)
+	for k := 0; k < m; k++ {
+		u, v := g.Endpoints(k)
+		s.endpoint[2*k] = u
+		s.endpoint[2*k+1] = v
+		s.neighb[u] = append(s.neighb[u], 2*k+1)
+		s.neighb[v] = append(s.neighb[v], 2*k)
+	}
+	maxW := 0.0
+	for k := 0; k < m; k++ {
+		if w := g.Weight(k); w > maxW {
+			maxW = w
+		}
+	}
+	s.mate = filled(n, -1)
+	s.label = filled(2*n, 0)
+	s.labelEnd = filled(2*n, -1)
+	s.inBloss = make([]int, n)
+	for v := range s.inBloss {
+		s.inBloss[v] = v
+	}
+	s.blossParent = filled(2*n, -1)
+	s.blossChilds = make([][]int, 2*n)
+	s.blossBase = make([]int, 2*n)
+	for v := 0; v < n; v++ {
+		s.blossBase[v] = v
+	}
+	for b := n; b < 2*n; b++ {
+		s.blossBase[b] = -1
+	}
+	s.blossEndps = make([][]int, 2*n)
+	s.bestEdge = filled(2*n, -1)
+	s.blossBest = make([][]int, 2*n)
+	s.unusedBloss = make([]int, 0, n)
+	for b := n; b < 2*n; b++ {
+		s.unusedBloss = append(s.unusedBloss, b)
+	}
+	s.dualVar = make([]float64, 2*n)
+	for v := 0; v < n; v++ {
+		s.dualVar[v] = maxW
+	}
+	s.allowEdge = make([]bool, m)
+	return s
+}
+
+func filled(n, v int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = v
+	}
+	return a
+}
+
+// slack returns the dual slack of edge k (non-negative on tight duals).
+func (s *mwmSolver) slack(k int) float64 {
+	u, v := s.endpoint[2*k], s.endpoint[2*k+1]
+	return s.dualVar[u] + s.dualVar[v] - 2*s.g.Weight(k)
+}
+
+// blossomLeaves appends all vertices contained (recursively) in b to buf.
+func (s *mwmSolver) blossomLeaves(b int, buf []int) []int {
+	if b < s.n {
+		return append(buf, b)
+	}
+	for _, c := range s.blossChilds[b] {
+		buf = s.blossomLeaves(c, buf)
+	}
+	return buf
+}
+
+// assignLabel gives vertex w label t, obtained through endpoint slot p.
+func (s *mwmSolver) assignLabel(w, t, p int) {
+	b := s.inBloss[w]
+	s.label[w], s.label[b] = t, t
+	s.labelEnd[w], s.labelEnd[b] = p, p
+	s.bestEdge[w], s.bestEdge[b] = -1, -1
+	if t == 1 {
+		s.queue = s.blossomLeaves(b, s.queue)
+	} else if t == 2 {
+		base := s.blossBase[b]
+		s.assignLabel(s.endpoint[s.mate[base]], 1, s.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from v and w to discover either a new blossom
+// (returns its base) or an augmenting path (returns -1).
+func (s *mwmSolver) scanBlossom(v, w int) int {
+	var path []int
+	base := -1
+	for v != -1 || w != -1 {
+		b := s.inBloss[v]
+		if s.label[b]&4 != 0 {
+			base = s.blossBase[b]
+			break
+		}
+		path = append(path, b)
+		s.label[b] = 5
+		if s.labelEnd[b] == -1 {
+			v = -1
+		} else {
+			v = s.endpoint[s.labelEnd[b]]
+			b = s.inBloss[v]
+			v = s.endpoint[s.labelEnd[b]]
+		}
+		if w != -1 {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		s.label[b] = 1
+	}
+	return base
+}
+
+// addBlossom contracts the odd cycle through edge k with the given base
+// into a new blossom.
+func (s *mwmSolver) addBlossom(base, k int) {
+	v, w := s.endpoint[2*k], s.endpoint[2*k+1]
+	bb, bv, bw := s.inBloss[base], s.inBloss[v], s.inBloss[w]
+	b := s.unusedBloss[len(s.unusedBloss)-1]
+	s.unusedBloss = s.unusedBloss[:len(s.unusedBloss)-1]
+	s.blossBase[b] = base
+	s.blossParent[b] = -1
+	s.blossParent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		s.blossParent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, s.labelEnd[bv])
+		v = s.endpoint[s.labelEnd[bv]]
+		bv = s.inBloss[v]
+	}
+	path = append(path, bb)
+	reverseInts(path)
+	reverseInts(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		s.blossParent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, s.labelEnd[bw]^1)
+		w = s.endpoint[s.labelEnd[bw]]
+		bw = s.inBloss[w]
+	}
+	s.blossChilds[b] = path
+	s.blossEndps[b] = endps
+	s.label[b] = 1
+	s.labelEnd[b] = s.labelEnd[bb]
+	s.dualVar[b] = 0
+	for _, leaf := range s.blossomLeaves(b, nil) {
+		if s.label[s.inBloss[leaf]] == 2 {
+			s.queue = append(s.queue, leaf)
+		}
+		s.inBloss[leaf] = b
+	}
+	// Recompute least-slack edges to every neighboring S-blossom.
+	bestEdgeTo := filled(2*s.n, -1)
+	for _, child := range path {
+		var nblists [][]int
+		if s.blossBest[child] == nil {
+			for _, leaf := range s.blossomLeaves(child, nil) {
+				lst := make([]int, 0, len(s.neighb[leaf]))
+				for _, p := range s.neighb[leaf] {
+					lst = append(lst, p/2)
+				}
+				nblists = append(nblists, lst)
+			}
+		} else {
+			nblists = [][]int{s.blossBest[child]}
+		}
+		for _, lst := range nblists {
+			for _, ke := range lst {
+				i, j := s.endpoint[2*ke], s.endpoint[2*ke+1]
+				if s.inBloss[j] == b {
+					i, j = j, i
+				}
+				_ = i
+				bj := s.inBloss[j]
+				if bj != b && s.label[bj] == 1 &&
+					(bestEdgeTo[bj] == -1 || s.slack(ke) < s.slack(bestEdgeTo[bj])) {
+					bestEdgeTo[bj] = ke
+				}
+			}
+		}
+		s.blossBest[child] = nil
+		s.bestEdge[child] = -1
+	}
+	var best []int
+	for _, ke := range bestEdgeTo {
+		if ke != -1 {
+			best = append(best, ke)
+		}
+	}
+	s.blossBest[b] = best
+	s.bestEdge[b] = -1
+	for _, ke := range best {
+		if s.bestEdge[b] == -1 || s.slack(ke) < s.slack(s.bestEdge[b]) {
+			s.bestEdge[b] = ke
+		}
+	}
+}
+
+// expandBlossom dissolves blossom b into its sub-blossoms, relabeling them
+// if this happens mid-stage (endStage = false) on a T-blossom.
+func (s *mwmSolver) expandBlossom(b int, endStage bool) {
+	for _, child := range s.blossChilds[b] {
+		s.blossParent[child] = -1
+		if child < s.n {
+			s.inBloss[child] = child
+		} else if endStage && s.dualVar[child] == 0 {
+			s.expandBlossom(child, endStage)
+		} else {
+			for _, leaf := range s.blossomLeaves(child, nil) {
+				s.inBloss[leaf] = child
+			}
+		}
+	}
+	if !endStage && s.label[b] == 2 {
+		entryChild := s.inBloss[s.endpoint[s.labelEnd[b]^1]]
+		j := indexOf(s.blossChilds[b], entryChild)
+		var jstep, endpTrick int
+		if j&1 != 0 {
+			j -= len(s.blossChilds[b])
+			jstep = 1
+			endpTrick = 0
+		} else {
+			jstep = -1
+			endpTrick = 1
+		}
+		p := s.labelEnd[b]
+		for j != 0 {
+			s.label[s.endpoint[p^1]] = 0
+			s.label[s.endpoint[at(s.blossEndps[b], j-endpTrick)^endpTrick^1]] = 0
+			s.assignLabel(s.endpoint[p^1], 2, p)
+			s.allowEdge[at(s.blossEndps[b], j-endpTrick)/2] = true
+			j += jstep
+			p = at(s.blossEndps[b], j-endpTrick) ^ endpTrick
+			s.allowEdge[p/2] = true
+			j += jstep
+		}
+		bv := at(s.blossChilds[b], j)
+		s.label[s.endpoint[p^1]] = 2
+		s.label[bv] = 2
+		s.labelEnd[s.endpoint[p^1]] = p
+		s.labelEnd[bv] = p
+		s.bestEdge[bv] = -1
+		j += jstep
+		for at(s.blossChilds[b], j) != entryChild {
+			bv := at(s.blossChilds[b], j)
+			if s.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			var lv int
+			for _, leaf := range s.blossomLeaves(bv, nil) {
+				lv = leaf
+				if s.label[leaf] != 0 {
+					break
+				}
+			}
+			if s.label[lv] != 0 {
+				s.label[lv] = 0
+				s.label[s.endpoint[s.mate[s.blossBase[bv]]]] = 0
+				s.assignLabel(lv, 2, s.labelEnd[lv])
+			}
+			j += jstep
+		}
+	}
+	s.label[b] = -1
+	s.labelEnd[b] = -1
+	s.blossChilds[b] = nil
+	s.blossEndps[b] = nil
+	s.blossBase[b] = -1
+	s.blossBest[b] = nil
+	s.bestEdge[b] = -1
+	s.unusedBloss = append(s.unusedBloss, b)
+}
+
+// augmentBlossom swaps matched and unmatched edges within blossom b along
+// the path from vertex v to the blossom base.
+func (s *mwmSolver) augmentBlossom(b, v int) {
+	t := v
+	for s.blossParent[t] != b {
+		t = s.blossParent[t]
+	}
+	if t >= s.n {
+		s.augmentBlossom(t, v)
+	}
+	i := indexOf(s.blossChilds[b], t)
+	j := i
+	var jstep, endpTrick int
+	if i&1 != 0 {
+		j -= len(s.blossChilds[b])
+		jstep = 1
+		endpTrick = 0
+	} else {
+		jstep = -1
+		endpTrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = at(s.blossChilds[b], j)
+		p := at(s.blossEndps[b], j-endpTrick) ^ endpTrick
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p])
+		}
+		j += jstep
+		t = at(s.blossChilds[b], j)
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p^1])
+		}
+		s.mate[s.endpoint[p]] = p ^ 1
+		s.mate[s.endpoint[p^1]] = p
+	}
+	s.blossChilds[b] = rotate(s.blossChilds[b], i)
+	s.blossEndps[b] = rotate(s.blossEndps[b], i)
+	s.blossBase[b] = s.blossBase[s.blossChilds[b][0]]
+}
+
+// augmentMatching augments along the path through tight edge k.
+func (s *mwmSolver) augmentMatching(k int) {
+	v, w := s.endpoint[2*k], s.endpoint[2*k+1]
+	for _, sp := range [2][2]int{{v, 2*k + 1}, {w, 2 * k}} {
+		sv, p := sp[0], sp[1]
+		for {
+			bs := s.inBloss[sv]
+			if bs >= s.n {
+				s.augmentBlossom(bs, sv)
+			}
+			s.mate[sv] = p
+			if s.labelEnd[bs] == -1 {
+				break
+			}
+			t := s.endpoint[s.labelEnd[bs]]
+			bt := s.inBloss[t]
+			sv = s.endpoint[s.labelEnd[bt]]
+			j := s.endpoint[s.labelEnd[bt]^1]
+			if bt >= s.n {
+				s.augmentBlossom(bt, j)
+			}
+			s.mate[j] = s.labelEnd[bt]
+			p = s.labelEnd[bt] ^ 1
+		}
+	}
+}
+
+// solve runs the stages of the primal-dual method.
+func (s *mwmSolver) solve() {
+	n := s.n
+	for stage := 0; stage < n; stage++ {
+		for i := range s.label {
+			s.label[i] = 0
+		}
+		for i := range s.bestEdge {
+			s.bestEdge[i] = -1
+		}
+		for b := n; b < 2*n; b++ {
+			s.blossBest[b] = nil
+		}
+		for i := range s.allowEdge {
+			s.allowEdge[i] = false
+		}
+		s.queue = s.queue[:0]
+		for v := 0; v < n; v++ {
+			if s.mate[v] == -1 && s.label[s.inBloss[v]] == 0 {
+				s.assignLabel(v, 1, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(s.queue) > 0 && !augmented {
+				v := s.queue[len(s.queue)-1]
+				s.queue = s.queue[:len(s.queue)-1]
+				for _, p := range s.neighb[v] {
+					k := p / 2
+					w := s.endpoint[p]
+					if s.inBloss[v] == s.inBloss[w] {
+						continue
+					}
+					var kslack float64
+					if !s.allowEdge[k] {
+						kslack = s.slack(k)
+						if kslack <= 0 {
+							s.allowEdge[k] = true
+						}
+					}
+					if s.allowEdge[k] {
+						switch {
+						case s.label[s.inBloss[w]] == 0:
+							s.assignLabel(w, 2, p^1)
+						case s.label[s.inBloss[w]] == 1:
+							base := s.scanBlossom(v, w)
+							if base >= 0 {
+								s.addBlossom(base, k)
+							} else {
+								s.augmentMatching(k)
+								augmented = true
+							}
+						case s.label[w] == 0:
+							s.label[w] = 2
+							s.labelEnd[w] = p ^ 1
+						}
+						if augmented {
+							break
+						}
+					} else if s.label[s.inBloss[w]] == 1 {
+						b := s.inBloss[v]
+						if s.bestEdge[b] == -1 || kslack < s.slack(s.bestEdge[b]) {
+							s.bestEdge[b] = k
+						}
+					} else if s.label[w] == 0 {
+						if s.bestEdge[w] == -1 || kslack < s.slack(s.bestEdge[w]) {
+							s.bestEdge[w] = k
+						}
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Dual variable adjustment.
+			deltaType := -1
+			var delta float64
+			deltaEdge, deltaBlossom := -1, -1
+			if !s.maxCard {
+				deltaType = 1
+				delta = minVertexDual(s.dualVar, n)
+			}
+			for v := 0; v < n; v++ {
+				if s.label[s.inBloss[v]] == 0 && s.bestEdge[v] != -1 {
+					d := s.slack(s.bestEdge[v])
+					if deltaType == -1 || d < delta {
+						delta = d
+						deltaType = 2
+						deltaEdge = s.bestEdge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*n; b++ {
+				if s.blossParent[b] == -1 && s.label[b] == 1 && s.bestEdge[b] != -1 {
+					d := s.slack(s.bestEdge[b]) / 2
+					if deltaType == -1 || d < delta {
+						delta = d
+						deltaType = 3
+						deltaEdge = s.bestEdge[b]
+					}
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossBase[b] >= 0 && s.blossParent[b] == -1 && s.label[b] == 2 &&
+					(deltaType == -1 || s.dualVar[b] < delta) {
+					delta = s.dualVar[b]
+					deltaType = 4
+					deltaBlossom = b
+				}
+			}
+			if deltaType == -1 {
+				// Max-cardinality optimum reached.
+				deltaType = 1
+				delta = minVertexDual(s.dualVar, n)
+				if delta < 0 {
+					delta = 0
+				}
+			}
+			for v := 0; v < n; v++ {
+				switch s.label[s.inBloss[v]] {
+				case 1:
+					s.dualVar[v] -= delta
+				case 2:
+					s.dualVar[v] += delta
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossBase[b] >= 0 && s.blossParent[b] == -1 {
+					switch s.label[b] {
+					case 1:
+						s.dualVar[b] += delta
+					case 2:
+						s.dualVar[b] -= delta
+					}
+				}
+			}
+			switch deltaType {
+			case 1:
+				// Optimum reached.
+			case 2:
+				s.allowEdge[deltaEdge] = true
+				i := s.endpoint[2*deltaEdge]
+				if s.label[s.inBloss[i]] == 0 {
+					i = s.endpoint[2*deltaEdge+1]
+				}
+				s.queue = append(s.queue, i)
+			case 3:
+				s.allowEdge[deltaEdge] = true
+				s.queue = append(s.queue, s.endpoint[2*deltaEdge])
+			case 4:
+				s.expandBlossom(deltaBlossom, false)
+			}
+			if deltaType == 1 {
+				break
+			}
+		}
+		if !augmented {
+			break
+		}
+		for b := n; b < 2*n; b++ {
+			if s.blossParent[b] == -1 && s.blossBase[b] >= 0 &&
+				s.label[b] == 1 && s.dualVar[b] == 0 {
+				s.expandBlossom(b, true)
+			}
+		}
+	}
+}
+
+func minVertexDual(dual []float64, n int) float64 {
+	d := dual[0]
+	for v := 1; v < n; v++ {
+		if dual[v] < d {
+			d = dual[v]
+		}
+	}
+	return d
+}
+
+func reverseInts(a []int) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func indexOf(a []int, v int) int {
+	for i, x := range a {
+		if x == v {
+			return i
+		}
+	}
+	panic("exact: element not found in blossom children")
+}
+
+// at indexes a with Python-style negative wraparound, which the blossom
+// traversal uses to walk cycles in either direction.
+func at(a []int, i int) int {
+	if i < 0 {
+		i += len(a)
+	}
+	return a[i]
+}
+
+func rotate(a []int, i int) []int {
+	out := make([]int, 0, len(a))
+	out = append(out, a[i:]...)
+	out = append(out, a[:i]...)
+	return out
+}

@@ -1,0 +1,111 @@
+package exact
+
+import "distmatch/internal/graph"
+
+// AllAugmentingPaths enumerates every simple augmenting path with respect to
+// m of length (in edges) at most maxLen, as node sequences. Each path is
+// reported once, oriented so its first node id is smaller than its last.
+// The enumeration is exponential in maxLen and exists for verifying the
+// distributed algorithms on small instances (Lemma 3.6, conflict graphs).
+func AllAugmentingPaths(g *graph.Graph, m *graph.Matching, maxLen int) [][]int {
+	var out [][]int
+	visitAugmentingPaths(g, m, maxLen, func(path []int) {
+		cp := make([]int, len(path))
+		copy(cp, path)
+		out = append(out, cp)
+	})
+	return out
+}
+
+// CountAugmentingPaths returns the number of augmenting paths of length at
+// most maxLen (each counted once).
+func CountAugmentingPaths(g *graph.Graph, m *graph.Matching, maxLen int) int {
+	c := 0
+	visitAugmentingPaths(g, m, maxLen, func([]int) { c++ })
+	return c
+}
+
+// ShortestAugmentingPathLen returns the length (in edges) of the shortest
+// augmenting path w.r.t. m, searching lengths up to maxLen; -1 if none.
+func ShortestAugmentingPathLen(g *graph.Graph, m *graph.Matching, maxLen int) int {
+	best := -1
+	visitAugmentingPaths(g, m, maxLen, func(path []int) {
+		l := len(path) - 1
+		if best == -1 || l < best {
+			best = l
+		}
+	})
+	return best
+}
+
+// CountPathsEndingAt returns, for every node v, the number of augmenting
+// paths of length exactly length that end at v and start at a free node of
+// side startSide (bipartite graphs). This is the brute-force reference for
+// the paper's Lemma 3.6 counters n_v.
+func CountPathsEndingAt(g *graph.Graph, m *graph.Matching, length, startSide int) []int {
+	counts := make([]int, g.N())
+	visitAugmentingPaths(g, m, length, func(path []int) {
+		if len(path)-1 != length {
+			return
+		}
+		a, b := path[0], path[len(path)-1]
+		if g.Side(a) == startSide {
+			counts[b]++
+		}
+		if g.Side(b) == startSide {
+			counts[a]++
+		}
+	})
+	return counts
+}
+
+// visitAugmentingPaths calls visit for each augmenting path of length at
+// most maxLen, oriented with path[0] < path[len-1]. The slice passed to
+// visit is reused.
+func visitAugmentingPaths(g *graph.Graph, m *graph.Matching, maxLen int, visit func(path []int)) {
+	n := g.N()
+	onPath := make([]bool, n)
+	path := make([]int, 0, maxLen+1)
+
+	var dfs func(v int)
+	dfs = func(v int) {
+		// Invariant: path ends at v; the next edge must be unmatched if
+		// len(path)-1 is even, matched otherwise.
+		needMatched := (len(path)-1)%2 == 1
+		if len(path)-1 >= maxLen {
+			return
+		}
+		for p := 0; p < g.Deg(v); p++ {
+			u := g.NbrAt(v, p)
+			if onPath[u] {
+				continue
+			}
+			e := g.EdgeAt(v, p)
+			if m.Has(g, e) != needMatched {
+				continue
+			}
+			path = append(path, u)
+			if !needMatched && m.Free(u) {
+				// Complete augmenting path (odd number of edges by parity).
+				if path[0] < u {
+					visit(path)
+				}
+			} else if !m.Free(u) {
+				onPath[u] = true
+				dfs(u)
+				onPath[u] = false
+			}
+			path = path[:len(path)-1]
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if !m.Free(s) {
+			continue
+		}
+		path = append(path[:0], s)
+		onPath[s] = true
+		dfs(s)
+		onPath[s] = false
+	}
+}

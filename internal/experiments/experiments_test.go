@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"distmatch/internal/stats"
+)
+
+// quickCfg runs experiments small enough for the unit-test suite.
+var quickCfg = Config{Quick: true, Seed: 7}
+
+func checkTable(t *testing.T, tb *stats.Table, minRows int) {
+	t.Helper()
+	if tb.Title == "" || len(tb.Headers) == 0 {
+		t.Fatal("table missing title or headers")
+	}
+	if len(tb.Rows) < minRows {
+		t.Fatalf("table %q has %d rows, want >= %d", tb.Title, len(tb.Rows), minRows)
+	}
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Headers) {
+			t.Fatalf("row width %d != header width %d in %q", len(r), len(tb.Headers), tb.Title)
+		}
+	}
+}
+
+// ratioAtLeast parses two columns as floats and asserts col >= boundCol.
+func ratioAtLeast(t *testing.T, tb *stats.Table, ratioCol, boundCol int) {
+	t.Helper()
+	for _, r := range tb.Rows {
+		ratio, err1 := strconv.ParseFloat(r[ratioCol], 64)
+		bound, err2 := strconv.ParseFloat(r[boundCol], 64)
+		if err1 != nil || err2 != nil {
+			continue // summary/fit rows
+		}
+		if ratio < bound-1e-9 {
+			t.Fatalf("%q: ratio %v below bound %v in row %v", tb.Title, ratio, bound, r)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	tb := E1Generic(quickCfg)
+	checkTable(t, tb, 4)
+	ratioAtLeast(t, tb, 2, 3)
+}
+
+func TestE2(t *testing.T) {
+	tb := E2Bipartite(quickCfg)
+	checkTable(t, tb, 4)
+	ratioAtLeast(t, tb, 2, 3)
+	// A regression-fit row and a strict-mode row must both be present.
+	all := ""
+	for _, r := range tb.Rows {
+		all += strings.Join(r, " ") + "\n"
+	}
+	if !strings.Contains(all, "log2(n)") {
+		t.Fatal("missing regression fit row")
+	}
+	if !strings.Contains(all, "strict@") {
+		t.Fatal("missing strict CONGEST row")
+	}
+}
+
+func TestE3(t *testing.T) {
+	tb := E3Counting(quickCfg)
+	checkTable(t, tb, 2)
+	for _, r := range tb.Rows {
+		if r[len(r)-1] != "0" {
+			t.Fatalf("counting mismatches reported: %v", r)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	tb := E4General(quickCfg)
+	checkTable(t, tb, 2)
+	ratioAtLeast(t, tb, 2, 3)
+}
+
+func TestE5(t *testing.T) {
+	tb := E5Survival(quickCfg)
+	checkTable(t, tb, 5)
+	for _, r := range tb.Rows {
+		relErr, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr > 0.25 {
+			t.Fatalf("empirical survival far from 2^-l: %v", r)
+		}
+	}
+}
+
+func TestE6(t *testing.T) {
+	tb := E6Weighted(quickCfg)
+	checkTable(t, tb, 8)
+	ratioAtLeast(t, tb, 2, 3)
+}
+
+func TestE7(t *testing.T) {
+	tb := E7Quarter(quickCfg)
+	checkTable(t, tb, 3)
+	ratioAtLeast(t, tb, 2, 3)
+}
+
+func TestE8(t *testing.T) {
+	checkTable(t, E8Baselines(quickCfg), 5)
+}
+
+func TestE9(t *testing.T) {
+	tb := E9Switch(quickCfg)
+	checkTable(t, tb, 10)
+	// At load 0.6 every scheduler should carry essentially the full load.
+	for _, r := range tb.Rows {
+		if r[1] != "0.600" {
+			continue
+		}
+		thr, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if thr < 0.55 {
+			t.Fatalf("scheduler %s below offered load at 0.6: %v", r[0], thr)
+		}
+	}
+}
+
+func TestE10(t *testing.T) {
+	tb := E10MessageBits(quickCfg)
+	checkTable(t, tb, 2)
+	for _, r := range tb.Rows {
+		gbits, _ := strconv.ParseFloat(r[1], 64)
+		bbits, _ := strconv.ParseFloat(r[2], 64)
+		if gbits < 10*bbits {
+			t.Fatalf("LOCAL/CONGEST contrast missing: %v", r)
+		}
+	}
+}
+
+func TestE11(t *testing.T) {
+	tb := E11LocalSearch(quickCfg)
+	checkTable(t, tb, 6)
+	ratioAtLeast(t, tb, 2, 3)
+}
+
+func TestE12(t *testing.T) {
+	tb := E12Trees(quickCfg)
+	checkTable(t, tb, 4)
+	// Rounds must be identical across sizes at a fixed budget (constant
+	// time), and the ratio must stay above 0.4 (i.e. half-ratio >= 0.8).
+	roundsByBudget := map[string]string{}
+	for _, r := range tb.Rows {
+		budget := r[1]
+		if prev, ok := roundsByBudget[budget]; ok && prev != r[4] {
+			t.Fatalf("rounds vary with n at fixed budget: %v vs %v", prev, r[4])
+		}
+		roundsByBudget[budget] = r[4]
+		ratio, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 0.4 {
+			t.Fatalf("truncated II ratio %v too low on trees", ratio)
+		}
+	}
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	tables := All(quickCfg)
+	if len(tables) != 12 {
+		t.Fatalf("All returned %d tables, want 12", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if seen[tb.Title] {
+			t.Fatalf("duplicate table %q", tb.Title)
+		}
+		seen[tb.Title] = true
+	}
+}

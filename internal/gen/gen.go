@@ -1,0 +1,320 @@
+// Package gen produces the synthetic graph workloads used by the tests,
+// examples, and benchmark harness. Every generator is deterministic given a
+// seed (via internal/rng) and returns an immutable graph.
+//
+// The paper being reproduced is a theory paper with no testbed traces, so
+// these generators are the workload substitutes: Erdős–Rényi and bipartite
+// random graphs for the scaling experiments, regular graphs and grids for
+// bounded-degree behaviour, preferential attachment for skewed degrees, and
+// adversarial weighted chains for the weighted-matching pathologies.
+package gen
+
+import (
+	"math"
+
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Gnp returns an Erdős–Rényi graph G(n, p) with unit weights.
+func Gnp(r *rng.Rand, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.MustBuild()
+	}
+	if p > 0 {
+		// Geometric skipping: iterate potential edges in lexicographic order,
+		// jumping log(1-u)/log(1-p) positions at a time.
+		logq := math.Log1p(-p)
+		k := int64(-1)
+		total := int64(n) * int64(n-1) / 2
+		for {
+			u := r.Float64()
+			skip := int64(math.Floor(math.Log1p(-u) / logq))
+			k += 1 + skip
+			if k >= total {
+				break
+			}
+			i, j := unrankPair(k, n)
+			b.AddEdge(i, j)
+		}
+	}
+	return b.MustBuild()
+}
+
+// unrankPair maps k in [0, n(n-1)/2) to the k-th pair (i,j), i<j, in
+// lexicographic order.
+func unrankPair(k int64, n int) (int, int) {
+	i := 0
+	row := int64(n - 1)
+	for k >= row {
+		k -= row
+		i++
+		row--
+	}
+	return i, i + 1 + int(k)
+}
+
+// Gnm returns a uniform random graph with exactly m distinct edges.
+func Gnm(r *rng.Rand, n, m int) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic("gen: Gnm with m exceeding complete graph")
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]bool, m)
+	for len(seen) < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// BipartiteGnp returns a random bipartite graph with nx left (X, side 0) and
+// ny right (Y, side 1) nodes, each cross pair present with probability p.
+// X nodes are 0..nx-1 and Y nodes are nx..nx+ny-1.
+func BipartiteGnp(r *rng.Rand, nx, ny int, p float64) *graph.Graph {
+	b := graph.NewBuilder(nx + ny)
+	for v := 0; v < nx; v++ {
+		b.SetSide(v, 0)
+	}
+	for v := nx; v < nx+ny; v++ {
+		b.SetSide(v, 1)
+	}
+	if p > 0 {
+		logq := math.Log1p(-p)
+		k := int64(-1)
+		total := int64(nx) * int64(ny)
+		for {
+			var skip int64
+			if p >= 1 {
+				skip = 0
+			} else {
+				skip = int64(math.Floor(math.Log1p(-r.Float64()) / logq))
+			}
+			k += 1 + skip
+			if k >= total {
+				break
+			}
+			b.AddEdge(int(k/int64(ny)), nx+int(k%int64(ny)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// BipartiteRegular returns a bipartite d-regular graph on n+n nodes built
+// from d random perfect matchings (parallel edges are retried, so the result
+// is a simple graph; requires d <= n).
+func BipartiteRegular(r *rng.Rand, n, d int) *graph.Graph {
+	if d > n {
+		panic("gen: BipartiteRegular requires d <= n")
+	}
+	b := graph.NewBuilder(2 * n)
+	for v := 0; v < n; v++ {
+		b.SetSide(v, 0)
+		b.SetSide(n+v, 1)
+	}
+	used := make(map[int64]bool, n*d)
+	for round := 0; round < d; round++ {
+		for attempt := 0; ; attempt++ {
+			perm := r.Perm(n)
+			ok := true
+			for i := 0; i < n; i++ {
+				if used[int64(i)*int64(n)+int64(perm[i])] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := 0; i < n; i++ {
+					used[int64(i)*int64(n)+int64(perm[i])] = true
+					b.AddEdge(i, n+perm[i])
+				}
+				break
+			}
+			if attempt > 200 {
+				panic("gen: BipartiteRegular failed to place a matching (d too close to n?)")
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph on n nodes (0-1-2-...-(n-1)).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle on n >= 3 nodes.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: Cycle needs n >= 3")
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star with one hub (node 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b} with declared sides.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bl := graph.NewBuilder(a + b)
+	for v := 0; v < a; v++ {
+		bl.SetSide(v, 0)
+	}
+	for v := a; v < a+b; v++ {
+		bl.SetSide(v, 1)
+	}
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			bl.AddEdge(u, v)
+		}
+	}
+	return bl.MustBuild()
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniform random recursive tree on n nodes: node v > 0
+// attaches to a uniformly random earlier node.
+func RandomTree(r *rng.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(r.Intn(v), v)
+	}
+	return b.MustBuild()
+}
+
+// PrefAttach returns a preferential-attachment graph: each new node adds d
+// edges to existing nodes chosen proportionally to degree (with retries to
+// keep the graph simple). Produces skewed degree distributions.
+func PrefAttach(r *rng.Rand, n, d int) *graph.Graph {
+	if n < d+1 {
+		panic("gen: PrefAttach needs n >= d+1")
+	}
+	b := graph.NewBuilder(n)
+	// endpoint multiset for proportional sampling
+	ends := make([]int, 0, 2*n*d)
+	// seed clique on d+1 nodes
+	for u := 0; u <= d; u++ {
+		for v := u + 1; v <= d; v++ {
+			b.AddEdge(u, v)
+			ends = append(ends, u, v)
+		}
+	}
+	for v := d + 1; v < n; v++ {
+		chosen := make(map[int]bool, d)
+		for len(chosen) < d {
+			u := ends[r.Intn(len(ends))]
+			if u != v {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			b.AddEdge(u, v)
+			ends = append(ends, u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// DRegular returns a random d-regular simple graph on n nodes via the
+// configuration model with restart on collision. n*d must be even.
+func DRegular(r *rng.Rand, n, d int) *graph.Graph {
+	if n*d%2 != 0 {
+		panic("gen: DRegular requires n*d even")
+	}
+	if d >= n {
+		panic("gen: DRegular requires d < n")
+	}
+	for attempt := 0; attempt < 500; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		seen := make(map[int64]bool, n*d/2)
+		b := graph.NewBuilder(n)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := int64(u)*int64(n) + int64(v)
+			if seen[key] {
+				ok = false
+				break
+			}
+			seen[key] = true
+			b.AddEdge(u, v)
+		}
+		if ok {
+			return b.MustBuild()
+		}
+	}
+	panic("gen: DRegular failed after 500 attempts")
+}

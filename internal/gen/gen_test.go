@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distmatch/internal/rng"
+)
+
+func TestGnpDensity(t *testing.T) {
+	r := rng.New(1)
+	g := Gnp(r, 200, 0.1)
+	want := 0.1 * 200 * 199 / 2
+	if float64(g.M()) < 0.8*want || float64(g.M()) > 1.2*want {
+		t.Fatalf("G(200,0.1) has %d edges, expected ≈ %.0f", g.M(), want)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	r := rng.New(2)
+	if g := Gnp(r, 20, 0); g.M() != 0 {
+		t.Fatal("p=0 graph has edges")
+	}
+	if g := Gnp(r, 20, 1); g.M() != 190 {
+		t.Fatalf("p=1 graph has %d edges, want 190", g.M())
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(rng.New(7), 100, 0.08)
+	b := Gnp(rng.New(7), 100, 0.08)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestGnmExactCount(t *testing.T) {
+	g := Gnm(rng.New(3), 50, 123)
+	if g.M() != 123 {
+		t.Fatalf("Gnm edges %d, want 123", g.M())
+	}
+}
+
+func TestBipartiteGnpSidesAndDensity(t *testing.T) {
+	g := BipartiteGnp(rng.New(4), 80, 120, 0.05)
+	if !g.IsBipartite() {
+		t.Fatal("not bipartite")
+	}
+	for v := 0; v < 80; v++ {
+		if g.Side(v) != 0 {
+			t.Fatalf("node %d should be X", v)
+		}
+	}
+	for v := 80; v < 200; v++ {
+		if g.Side(v) != 1 {
+			t.Fatalf("node %d should be Y", v)
+		}
+	}
+	want := 0.05 * 80 * 120
+	if float64(g.M()) < 0.7*want || float64(g.M()) > 1.3*want {
+		t.Fatalf("edges %d, expected ≈ %.0f", g.M(), want)
+	}
+}
+
+func TestBipartiteRegularDegrees(t *testing.T) {
+	g := BipartiteRegular(rng.New(5), 30, 4)
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("node %d degree %d, want 4", v, g.Deg(v))
+		}
+	}
+	if !g.IsBipartite() {
+		t.Fatal("not bipartite")
+	}
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if g := Path(6); g.M() != 5 || g.MaxDegree() != 2 {
+		t.Fatal("path wrong")
+	}
+	if g := Cycle(6); g.M() != 6 || g.MaxDegree() != 2 {
+		t.Fatal("cycle wrong")
+	}
+	if g := Star(7); g.M() != 6 || g.MaxDegree() != 6 {
+		t.Fatal("star wrong")
+	}
+	if g := Complete(6); g.M() != 15 || g.MaxDegree() != 5 {
+		t.Fatal("complete wrong")
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 || !g.IsBipartite() {
+		t.Fatal("complete bipartite wrong")
+	}
+	if g := Grid(3, 4); g.M() != 3*3+2*4 || g.N() != 12 {
+		t.Fatal("grid wrong")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	g := RandomTree(rng.New(6), 50)
+	if g.M() != 49 {
+		t.Fatalf("tree edges %d", g.M())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("trees are bipartite")
+	}
+}
+
+func TestPrefAttachDegrees(t *testing.T) {
+	g := PrefAttach(rng.New(7), 200, 3)
+	if g.N() != 200 {
+		t.Fatal("size wrong")
+	}
+	// Every non-seed node has degree >= 3; hub degrees should be skewed.
+	if g.MaxDegree() < 8 {
+		t.Fatalf("expected a hub, max degree %d", g.MaxDegree())
+	}
+}
+
+func TestDRegular(t *testing.T) {
+	g := DRegular(rng.New(8), 40, 3)
+	for v := 0; v < 40; v++ {
+		if g.Deg(v) != 3 {
+			t.Fatalf("node %d degree %d", v, g.Deg(v))
+		}
+	}
+}
+
+func TestWeightGenerators(t *testing.T) {
+	g0 := Path(30)
+	u := UniformWeights(rng.New(9), g0, 2, 5)
+	for e := 0; e < u.M(); e++ {
+		if u.Weight(e) < 2 || u.Weight(e) >= 5 {
+			t.Fatalf("uniform weight out of range: %v", u.Weight(e))
+		}
+	}
+	x := ExpWeights(rng.New(10), g0, 3)
+	for e := 0; e < x.M(); e++ {
+		if x.Weight(e) < 0 {
+			t.Fatal("negative exp weight")
+		}
+	}
+	iw := IntWeights(rng.New(11), g0, 6)
+	for e := 0; e < iw.M(); e++ {
+		w := iw.Weight(e)
+		if w != float64(int(w)) || w < 1 || w > 6 {
+			t.Fatalf("bad int weight %v", w)
+		}
+	}
+}
+
+func TestAdversarialChain(t *testing.T) {
+	g := AdversarialChain(10)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if g.Weight(e) != float64(min(u, v)+1) {
+			t.Fatalf("chain weight at edge %d: %v", e, g.Weight(e))
+		}
+	}
+	gg := GeometricChain(6, 2)
+	if gg.Weight(gg.EdgeBetween(4, 5)) != 16 {
+		t.Fatal("geometric chain wrong")
+	}
+}
+
+func TestReweightPreservesStructure(t *testing.T) {
+	g := BipartiteGnp(rng.New(12), 10, 10, 0.3)
+	w := Reweight(g, func(e, u, v int) float64 { return float64(u + v) })
+	if w.M() != g.M() || !w.IsBipartite() {
+		t.Fatal("reweight changed structure")
+	}
+	for e := 0; e < w.M(); e++ {
+		u, v := w.Endpoints(e)
+		if w.Weight(e) != float64(u+v) {
+			t.Fatal("reweight function not applied")
+		}
+	}
+}
+
+func TestGeneratorsAreSimpleGraphs(t *testing.T) {
+	// quick.Check over seeds: no generator may emit duplicate edges or
+	// self-loops (the builder would reject them with a panic/error).
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		Gnp(r.Fork(1), 30, 0.2)
+		Gnm(r.Fork(2), 30, 60)
+		BipartiteGnp(r.Fork(3), 15, 15, 0.2)
+		RandomTree(r.Fork(4), 30)
+		PrefAttach(r.Fork(5), 40, 2)
+		DRegular(r.Fork(6), 20, 3)
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Instance(t *testing.T) {
+	g, m, freeY, want := Figure1Instance()
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsBipartite() || g.Side(freeY) != 1 || !m.Free(freeY) {
+		t.Fatal("figure 1 instance malformed")
+	}
+	if want != 3 {
+		t.Fatal("figure 1 expected count changed")
+	}
+}
+
+func TestFigure2Instance(t *testing.T) {
+	g, m, mPrime := Figure2Instance()
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(g) != 14 {
+		t.Fatalf("w(M) = %v, want 14 as in Figure 2", m.Weight(g))
+	}
+	if len(mPrime) != 3 {
+		t.Fatalf("M' size %d", len(mPrime))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Additional fixed and planted topologies used by the wider test suite:
+// hypercubes and tori exercise the algorithms on structured bounded-degree
+// networks; planted instances carry a known perfect matching, giving exact
+// optima without running a reference matcher.
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *graph.Graph {
+	if d < 0 || d > 20 {
+		panic("gen: Hypercube dimension out of range")
+	}
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << i)
+			if v < u {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the rows×cols torus (grid with wraparound). Both dimensions
+// must be at least 3 so the graph stays simple.
+func Torus(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic("gen: Torus needs both dimensions >= 3")
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.MustBuild()
+}
+
+// PlantedBipartite returns a bipartite graph on n+n nodes containing a
+// planted perfect matching (a hidden permutation) plus extra random
+// bichromatic edges at the given expected degree. The maximum matching is
+// exactly n, so approximation ratios can be computed without an exact
+// matcher. The planted permutation is returned (plant[i] = Y partner of X
+// node i, as a node id in [n, 2n)).
+func PlantedBipartite(r *rng.Rand, n int, extraDeg float64) (*graph.Graph, []int) {
+	b := graph.NewBuilder(2 * n)
+	for v := 0; v < n; v++ {
+		b.SetSide(v, 0)
+		b.SetSide(n+v, 1)
+	}
+	perm := r.Perm(n)
+	plant := make([]int, n)
+	used := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		j := perm[i]
+		plant[i] = n + j
+		b.AddEdge(i, n+j)
+		used[int64(i)*int64(n)+int64(j)] = true
+	}
+	extra := int(extraDeg * float64(n) / 2)
+	for added := 0; added < extra; {
+		i, j := r.Intn(n), r.Intn(n)
+		key := int64(i)*int64(n) + int64(j)
+		if used[key] {
+			continue
+		}
+		used[key] = true
+		b.AddEdge(i, n+j)
+		added++
+	}
+	return b.MustBuild(), plant
+}
+
+// BlowupPath returns the "hard" bipartite instance for augmenting-path
+// algorithms: k disjoint augmenting paths of length 2L−1 arranged so
+// short-sighted algorithms leave long augmenting chains. It consists of k
+// parallel paths each alternating X/Y with the middle edges pre-matchable;
+// its maximum matching is k·L.
+func BlowupPath(k, L int) *graph.Graph {
+	// Each path: x_0 y_1 x_1 y_2 ... with 2L nodes and 2L-1 edges.
+	b := graph.NewBuilder(2 * L * k)
+	for p := 0; p < k; p++ {
+		base := 2 * L * p
+		for i := 0; i < 2*L; i++ {
+			if i%2 == 0 {
+				b.SetSide(base+i, 0)
+			} else {
+				b.SetSide(base+i, 1)
+			}
+		}
+		for i := 0; i+1 < 2*L; i++ {
+			b.AddEdge(base+i, base+i+1)
+		}
+	}
+	return b.MustBuild()
+}

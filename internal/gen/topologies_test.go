@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"testing"
+
+	"distmatch/internal/rng"
+)
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("Q4 degree %d at %d", g.Deg(v), v)
+		}
+	}
+	if !g.IsBipartite() {
+		t.Fatal("hypercubes are bipartite")
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("Q4 diameter %d", g.Diameter())
+	}
+	if Hypercube(0).N() != 1 {
+		t.Fatal("Q0 wrong")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 || g.M() != 40 {
+		t.Fatalf("torus: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatal("torus not 4-regular")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2-row torus accepted")
+		}
+	}()
+	Torus(2, 5)
+}
+
+func TestPlantedBipartite(t *testing.T) {
+	g, plant := PlantedBipartite(rng.New(1), 50, 3)
+	if !g.IsBipartite() || g.N() != 100 {
+		t.Fatal("planted instance malformed")
+	}
+	// The plant must be present as edges and form a perfect matching.
+	seen := make(map[int]bool)
+	for i, y := range plant {
+		if g.EdgeBetween(i, y) == -1 {
+			t.Fatalf("planted edge (%d,%d) missing", i, y)
+		}
+		if seen[y] {
+			t.Fatal("plant not a permutation")
+		}
+		seen[y] = true
+	}
+	// Extra edges were added.
+	if g.M() <= 50 {
+		t.Fatalf("no extra edges: m=%d", g.M())
+	}
+}
+
+func TestBlowupPath(t *testing.T) {
+	g := BlowupPath(3, 4)
+	if g.N() != 24 || g.M() != 21 {
+		t.Fatalf("blowup: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("blowup should be bipartite")
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatal("blowup paths should have max degree 2")
+	}
+}

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Reweight returns a copy of g whose edge e has weight f(e, u, v), where
+// (u, v) are e's endpoints. Sides are preserved for bipartite graphs.
+func Reweight(g *graph.Graph, f func(e, u, v int) float64) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	if g.IsBipartite() {
+		for v := 0; v < g.N(); v++ {
+			b.SetSide(v, int8(g.Side(v)))
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		b.AddWeightedEdge(u, v, f(e, u, v))
+	}
+	return b.MustBuild()
+}
+
+// UniformWeights returns g with i.i.d. uniform weights on [lo, hi).
+func UniformWeights(r *rng.Rand, g *graph.Graph, lo, hi float64) *graph.Graph {
+	return Reweight(g, func(e, u, v int) float64 { return lo + (hi-lo)*r.Float64() })
+}
+
+// ExpWeights returns g with i.i.d. exponential weights with the given mean.
+func ExpWeights(r *rng.Rand, g *graph.Graph, mean float64) *graph.Graph {
+	return Reweight(g, func(e, u, v int) float64 { return mean * r.ExpFloat64() })
+}
+
+// IntWeights returns g with i.i.d. uniform integer weights in {1, ..., maxW}.
+func IntWeights(r *rng.Rand, g *graph.Graph, maxW int) *graph.Graph {
+	return Reweight(g, func(e, u, v int) float64 { return float64(1 + r.Intn(maxW)) })
+}
+
+// AdversarialChain returns a path on n nodes whose edge weights increase
+// along the path (w_i = i+1). A "locally heaviest edge first" greedy matcher
+// serializes completely on this instance (Θ(n) rounds), which is the
+// pathology that motivates weight-class algorithms such as internal/lpr.
+func AdversarialChain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddWeightedEdge(v, v+1, float64(v+1))
+	}
+	return b.MustBuild()
+}
+
+// GeometricChain is AdversarialChain with exponentially growing weights
+// (w_i = ratio^i), stressing weight-class counts.
+func GeometricChain(n int, ratio float64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	w := 1.0
+	for v := 0; v+1 < n; v++ {
+		b.AddWeightedEdge(v, v+1, w)
+		w *= ratio
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,106 @@
+package graph
+
+import "testing"
+
+func grid2x3(t *testing.T) *Graph {
+	t.Helper()
+	// 0-1-2
+	// |   |
+	// 3-4-5
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(0, 3)
+	b.AddEdge(2, 5)
+	return b.MustBuild()
+}
+
+func TestBFSFrom(t *testing.T) {
+	g := grid2x3(t)
+	d := g.BFSFrom(0)
+	want := []int{0, 1, 2, 1, 2, 3}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	d := g.BFSFrom(0)
+	if d[2] != -1 {
+		t.Fatal("unreachable node has distance")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components %d want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component ids wrong: %v", comp)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !grid2x3(t).Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := grid2x3(t)
+	if d := g.Diameter(); d != 3 {
+		t.Fatalf("diameter %d want 3", d)
+	}
+	lb := g.DiameterLowerBound(4)
+	if lb > 3 || lb < 2 {
+		t.Fatalf("double sweep bound %d outside [2,3]", lb)
+	}
+	// Path: exact diameter via double sweep.
+	b := NewBuilder(7)
+	for v := 0; v < 6; v++ {
+		b.AddEdge(v, v+1)
+	}
+	p := b.MustBuild()
+	if p.DiameterLowerBound(3) != 6 {
+		t.Fatal("double sweep not exact on path")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := grid2x3(t)
+	// In this 6-cycle-shaped grid every node has eccentricity 3.
+	if g.Eccentricity(0) != 3 || g.Eccentricity(1) != 3 {
+		t.Fatalf("eccentricities wrong: %d %d", g.Eccentricity(0), g.Eccentricity(1))
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	p := b.MustBuild()
+	if p.Eccentricity(1) != 1 || p.Eccentricity(0) != 2 {
+		t.Fatal("path eccentricities wrong")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := grid2x3(t)
+	h := g.DegreeHistogram()
+	if h[2] != 6 {
+		t.Fatalf("histogram %v", h)
+	}
+	empty := NewBuilder(2).MustBuild()
+	if eh := empty.DegreeHistogram(); eh[0] != 2 {
+		t.Fatalf("empty histogram %v", eh)
+	}
+}

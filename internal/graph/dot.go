@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visual inspection
+// of small instances (the Figure 1/2 reconstructions, failing test cases).
+// If m is non-nil, matched edges are drawn bold and free nodes hollow; for
+// bipartite graphs the sides are shaped differently.
+func (g *Graph) WriteDOT(w io.Writer, m *Matching) error {
+	if _, err := fmt.Fprintln(w, "graph G {"); err != nil {
+		return err
+	}
+	for v := 0; v < g.n; v++ {
+		attrs := ""
+		if g.bipartite {
+			if g.side[v] == 0 {
+				attrs = "shape=box"
+			} else {
+				attrs = "shape=ellipse"
+			}
+		}
+		if m != nil && m.Free(v) {
+			if attrs != "" {
+				attrs += ","
+			}
+			attrs += "style=dashed"
+		}
+		if attrs != "" {
+			attrs = " [" + attrs + "]"
+		}
+		if _, err := fmt.Fprintf(w, "  %d%s;\n", v, attrs); err != nil {
+			return err
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		attrs := fmt.Sprintf("label=%q", trimFloat(g.w[e]))
+		if m != nil && m.Has(g, e) {
+			attrs += ",style=bold,penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  %d -- %d [%s];\n", u, v, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetSide(0, 0)
+	b.SetSide(1, 1)
+	b.SetSide(2, 0)
+	b.SetSide(3, 1)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(2, 3, 1)
+	b.AddWeightedEdge(0, 3, 3)
+	g := b.MustBuild()
+	m := NewMatching(4)
+	m.Match(g, g.EdgeBetween(0, 1))
+
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"graph G {",
+		"0 -- 1",
+		"style=bold",                 // matched edge
+		`label="2.5"`,                // trimmed weight
+		"shape=box",                  // X side
+		"shape=ellipse",              // Y side
+		"2 [shape=box,style=dashed]", // free node
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilMatching(t *testing.T) {
+	g := NewBuilder(2).MustBuild()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "graph G {") {
+		t.Fatal("bad DOT")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{2.5: "2.5", 1: "1", 3.14: "3.14", 0.1: "0.1"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

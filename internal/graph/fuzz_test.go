@@ -1,0 +1,85 @@
+package graph
+
+import "testing"
+
+// FuzzBuilderPorts feeds arbitrary edge lists to the builder and checks the
+// port-numbering invariants on whatever builds successfully. Run with
+// `go test -fuzz FuzzBuilderPorts ./internal/graph` for a real campaign;
+// the seed corpus runs in every ordinary `go test`.
+func FuzzBuilderPorts(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(3), []byte{0, 1, 0, 2, 1, 2})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(10), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 2, 4})
+	f.Fuzz(func(t *testing.T, nRaw uint8, pairs []byte) {
+		n := int(nRaw%32) + 1
+		b := NewBuilder(n)
+		seen := map[[2]int]bool{}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			u, v := int(pairs[i])%n, int(pairs[i+1])%n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("deduplicated input rejected: %v", err)
+		}
+		if g.M() != len(seen) {
+			t.Fatalf("edge count %d != %d", g.M(), len(seen))
+		}
+		deg := 0
+		for v := 0; v < n; v++ {
+			deg += g.Deg(v)
+			for p := 0; p < g.Deg(v); p++ {
+				u := g.NbrAt(v, p)
+				if g.NbrAt(u, g.RevAt(v, p)) != v {
+					t.Fatal("reverse port broken")
+				}
+				if g.EdgeAt(v, p) != g.EdgeAt(u, g.RevAt(v, p)) {
+					t.Fatal("edge id mismatch")
+				}
+			}
+		}
+		if deg != 2*g.M() {
+			t.Fatal("degree sum != 2m")
+		}
+	})
+}
+
+// FuzzMatchingOperations applies arbitrary match/unmatch/augment sequences
+// and checks Verify never fails on accepted operations.
+func FuzzMatchingOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{1, 1, 0, 2, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		// Fixed arena: C6.
+		b := NewBuilder(6)
+		for v := 0; v < 6; v++ {
+			b.AddEdge(v, (v+1)%6)
+		}
+		g := b.MustBuild()
+		m := NewMatching(6)
+		for _, op := range ops {
+			e := int(op) % g.M()
+			u, v := g.Endpoints(e)
+			switch {
+			case m.Has(g, e):
+				m.Unmatch(g, e)
+			case m.Free(u) && m.Free(v):
+				m.Match(g, e)
+			}
+			if err := m.Verify(g); err != nil {
+				t.Fatalf("invariant broken after op %d: %v", op, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package graph provides the undirected (optionally weighted, optionally
+// bipartite) graph representation shared by every algorithm in this module,
+// together with the Matching type and its invariant checks.
+//
+// Graphs are immutable once built. Adjacency is stored in CSR form with
+// *port numbering*: node v's incident edges occupy ports 0..Deg(v)-1, and
+// for each port the index of the reverse port at the neighbor is
+// precomputed. The distributed runtime (internal/dist) relies on ports:
+// a node addresses its neighbors only by local port, exactly as in the
+// standard synchronous message-passing model.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph.
+type Graph struct {
+	n int
+
+	off []int32 // CSR offsets, len n+1
+	nbr []int32 // neighbor node per port
+	eid []int32 // undirected edge id per port
+	rev []int32 // port index of the reverse arc at the neighbor
+
+	from, to []int32 // edge endpoints, from < to
+	w        []float64
+
+	side      []int8 // 0 = X, 1 = Y when bipartite; nil otherwise
+	bipartite bool
+	maxDeg    int
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	from  []int32
+	to    []int32
+	w     []float64
+	side  []int8
+	sided bool
+}
+
+// NewBuilder returns a builder for a graph on n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// SetSide declares the bipartition side of node v (0 = X, 1 = Y).
+// If any side is set, Build verifies every edge is bichromatic.
+func (b *Builder) SetSide(v int, side int8) {
+	if b.side == nil {
+		b.side = make([]int8, b.n)
+		for i := range b.side {
+			b.side[i] = -1
+		}
+	}
+	b.side[v] = side
+	b.sided = true
+}
+
+// AddEdge adds an unweighted edge (weight 1) between u and v.
+func (b *Builder) AddEdge(u, v int) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge adds an edge between u and v with weight w.
+// Self-loops are rejected immediately; duplicate edges are rejected at Build.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.from = append(b.from, int32(u))
+	b.to = append(b.to, int32(v))
+	b.w = append(b.w, w)
+}
+
+// Build validates the accumulated edges and returns the immutable graph.
+func (b *Builder) Build() (*Graph, error) {
+	m := len(b.from)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.from[a] != b.from[c] {
+			return b.from[a] < b.from[c]
+		}
+		return b.to[a] < b.to[c]
+	})
+	g := &Graph{
+		n:    b.n,
+		from: make([]int32, m),
+		to:   make([]int32, m),
+		w:    make([]float64, m),
+	}
+	for i, o := range order {
+		if i > 0 && b.from[o] == g.from[i-1] && b.to[o] == g.to[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", b.from[o], b.to[o])
+		}
+		g.from[i], g.to[i], g.w[i] = b.from[o], b.to[o], b.w[o]
+	}
+
+	deg := make([]int32, b.n)
+	for i := 0; i < m; i++ {
+		deg[g.from[i]]++
+		deg[g.to[i]]++
+	}
+	g.off = make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] = g.off[v] + deg[v]
+		if int(deg[v]) > g.maxDeg {
+			g.maxDeg = int(deg[v])
+		}
+	}
+	g.nbr = make([]int32, 2*m)
+	g.eid = make([]int32, 2*m)
+	g.rev = make([]int32, 2*m)
+	fill := make([]int32, b.n)
+	copy(fill, g.off[:b.n])
+	for e := 0; e < m; e++ {
+		u, v := g.from[e], g.to[e]
+		pu, pv := fill[u], fill[v]
+		g.nbr[pu], g.eid[pu] = v, int32(e)
+		g.nbr[pv], g.eid[pv] = u, int32(e)
+		g.rev[pu] = pv - g.off[v]
+		g.rev[pv] = pu - g.off[u]
+		fill[u]++
+		fill[v]++
+	}
+
+	if b.sided {
+		for v := 0; v < b.n; v++ {
+			if b.side[v] != 0 && b.side[v] != 1 {
+				return nil, fmt.Errorf("graph: node %d has no declared side", v)
+			}
+		}
+		for e := 0; e < m; e++ {
+			if b.side[g.from[e]] == b.side[g.to[e]] {
+				return nil, fmt.Errorf("graph: edge (%d,%d) is monochromatic in declared bipartition",
+					g.from[e], g.to[e])
+			}
+		}
+		g.side = b.side
+		g.bipartite = true
+	} else {
+		g.side, g.bipartite = twoColor(g)
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for generators and tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// twoColor attempts a 2-coloring; on success returns (sides, true).
+func twoColor(g *Graph) ([]int8, bool) {
+	side := make([]int8, g.n)
+	for i := range side {
+		side[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for p := g.off[v]; p < g.off[v+1]; p++ {
+				u := g.nbr[p]
+				if side[u] == -1 {
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				} else if side[u] == side[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.from) }
+
+// MaxDegree returns the maximum node degree Δ.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Deg returns the degree of node v.
+func (g *Graph) Deg(v int) int { return int(g.off[v+1] - g.off[v]) }
+
+// NbrAt returns the neighbor of v at port p.
+func (g *Graph) NbrAt(v, p int) int { return int(g.nbr[g.off[v]+int32(p)]) }
+
+// EdgeAt returns the undirected edge id incident to v at port p.
+func (g *Graph) EdgeAt(v, p int) int { return int(g.eid[g.off[v]+int32(p)]) }
+
+// RevAt returns the port at NbrAt(v,p) whose arc points back to v.
+func (g *Graph) RevAt(v, p int) int { return int(g.rev[g.off[v]+int32(p)]) }
+
+// Endpoints returns the endpoints of edge e with u < v.
+func (g *Graph) Endpoints(e int) (u, v int) { return int(g.from[e]), int(g.to[e]) }
+
+// Other returns the endpoint of edge e that is not v.
+func (g *Graph) Other(e, v int) int {
+	if int(g.from[e]) == v {
+		return int(g.to[e])
+	}
+	if int(g.to[e]) != v {
+		panic("graph: Other called with non-endpoint")
+	}
+	return int(g.from[e])
+}
+
+// Weight returns the weight of edge e.
+func (g *Graph) Weight(e int) float64 { return g.w[e] }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, x := range g.w {
+		s += x
+	}
+	return s
+}
+
+// IsBipartite reports whether the graph admits (or was declared with) a
+// bipartition.
+func (g *Graph) IsBipartite() bool { return g.bipartite }
+
+// Side returns the bipartition side of v (0 = X, 1 = Y). It panics if the
+// graph is not bipartite.
+func (g *Graph) Side(v int) int {
+	if !g.bipartite {
+		panic("graph: Side on non-bipartite graph")
+	}
+	return int(g.side[v])
+}
+
+// EdgeBetween returns the edge id connecting u and v, or -1.
+func (g *Graph) EdgeBetween(u, v int) int {
+	if g.Deg(u) > g.Deg(v) {
+		u, v = v, u
+	}
+	for p := g.off[u]; p < g.off[u+1]; p++ {
+		if int(g.nbr[p]) == v {
+			return int(g.eid[p])
+		}
+	}
+	return -1
+}
+
+// PortOf returns v's port leading to neighbor u, or -1.
+func (g *Graph) PortOf(v, u int) int {
+	for p := g.off[v]; p < g.off[v+1]; p++ {
+		if int(g.nbr[p]) == u {
+			return int(p - g.off[v])
+		}
+	}
+	return -1
+}
+
+// Degrees returns a fresh slice of all node degrees.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.n)
+	for v := range d {
+		d[v] = g.Deg(v)
+	}
+	return d
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	kind := "general"
+	if g.bipartite {
+		kind = "bipartite"
+	}
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d %s}", g.n, g.M(), g.maxDeg, kind)
+}

@@ -1,0 +1,163 @@
+package graph
+
+import "testing"
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	return b.MustBuild()
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 || g.M() != 3 || g.MaxDegree() != 2 {
+		t.Fatalf("bad summary: %v", g)
+	}
+	for v := 0; v < 3; v++ {
+		if g.Deg(v) != 2 {
+			t.Fatalf("deg(%d)=%d", v, g.Deg(v))
+		}
+	}
+}
+
+func TestPortNumberingRoundTrip(t *testing.T) {
+	b := NewBuilder(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}, {4, 5}, {3, 4}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustBuild()
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			u := g.NbrAt(v, p)
+			q := g.RevAt(v, p)
+			if g.NbrAt(u, q) != v {
+				t.Fatalf("reverse port broken: v=%d p=%d u=%d q=%d", v, p, u, q)
+			}
+			if g.EdgeAt(v, p) != g.EdgeAt(u, q) {
+				t.Fatalf("edge id mismatch across ports")
+			}
+			eu, ev := g.Endpoints(g.EdgeAt(v, p))
+			if !(eu == v && ev == u) && !(eu == u && ev == v) {
+				t.Fatalf("endpoints of %d don't match (%d,%d)", g.EdgeAt(v, p), v, u)
+			}
+		}
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self loop accepted")
+		}
+	}()
+	NewBuilder(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out of range accepted")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestBipartiteDetection(t *testing.T) {
+	// Even cycle is bipartite, odd is not.
+	b := NewBuilder(4)
+	for v := 0; v < 4; v++ {
+		b.AddEdge(v, (v+1)%4)
+	}
+	g := b.MustBuild()
+	if !g.IsBipartite() {
+		t.Fatal("C4 should be bipartite")
+	}
+	if g.Side(0) == g.Side(1) || g.Side(0) != g.Side(2) {
+		t.Fatal("C4 sides wrong")
+	}
+	if triangle(t).IsBipartite() {
+		t.Fatal("triangle reported bipartite")
+	}
+}
+
+func TestDeclaredSidesValidated(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetSide(0, 0)
+	b.SetSide(1, 0)
+	b.SetSide(2, 1)
+	b.AddEdge(0, 1) // monochromatic
+	if _, err := b.Build(); err == nil {
+		t.Fatal("monochromatic edge accepted under declared bipartition")
+	}
+}
+
+func TestEdgeBetweenAndOther(t *testing.T) {
+	g := triangle(t)
+	e := g.EdgeBetween(0, 2)
+	if e == -1 {
+		t.Fatal("missing edge 0-2")
+	}
+	if g.Other(e, 0) != 2 || g.Other(e, 2) != 0 {
+		t.Fatal("Other broken")
+	}
+	if g.EdgeBetween(0, 0) != -1 {
+		t.Fatal("EdgeBetween(0,0) should be -1")
+	}
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g2 := b.MustBuild()
+	if g2.EdgeBetween(2, 3) != -1 {
+		t.Fatal("nonexistent edge found")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 2.5)
+	g := b.MustBuild()
+	if g.Weight(0) != 2.5 || g.TotalWeight() != 2.5 {
+		t.Fatal("weights wrong")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty graph wrong")
+	}
+	g1 := NewBuilder(5).MustBuild()
+	if g1.M() != 0 || g1.MaxDegree() != 0 {
+		t.Fatal("edgeless graph wrong")
+	}
+	if !g1.IsBipartite() {
+		t.Fatal("edgeless graph should be trivially bipartite")
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	g := triangle(t)
+	for v := 0; v < 3; v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			u := g.NbrAt(v, p)
+			if g.PortOf(v, u) != p {
+				t.Fatalf("PortOf(%d,%d) != %d", v, u, p)
+			}
+		}
+	}
+	if g.PortOf(0, 0) != -1 {
+		t.Fatal("PortOf self should be -1")
+	}
+}

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matching is a set of pairwise non-adjacent edges of a Graph, stored as a
+// per-node matched-edge index. The zero value is not usable; construct with
+// NewMatching.
+type Matching struct {
+	medge []int32 // matched edge id per node, -1 if free
+	size  int
+}
+
+// NewMatching returns an empty matching over a graph with n nodes.
+func NewMatching(n int) *Matching {
+	m := &Matching{medge: make([]int32, n)}
+	for i := range m.medge {
+		m.medge[i] = -1
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Matching) Clone() *Matching {
+	c := &Matching{medge: make([]int32, len(m.medge)), size: m.size}
+	copy(c.medge, m.medge)
+	return c
+}
+
+// Size returns |M|, the number of matched edges.
+func (m *Matching) Size() int { return m.size }
+
+// Free reports whether node v is unmatched.
+func (m *Matching) Free(v int) bool { return m.medge[v] == -1 }
+
+// MatchedEdge returns the edge matching v, or -1 if v is free.
+func (m *Matching) MatchedEdge(v int) int { return int(m.medge[v]) }
+
+// Mate returns the node matched to v in g, or -1 if v is free.
+func (m *Matching) Mate(g *Graph, v int) int {
+	e := m.medge[v]
+	if e == -1 {
+		return -1
+	}
+	return g.Other(int(e), v)
+}
+
+// Has reports whether edge e is in the matching.
+func (m *Matching) Has(g *Graph, e int) bool {
+	u, _ := g.Endpoints(e)
+	return int(m.medge[u]) == e
+}
+
+// Match adds edge e of g to the matching. Both endpoints must be free.
+func (m *Matching) Match(g *Graph, e int) {
+	u, v := g.Endpoints(e)
+	if m.medge[u] != -1 || m.medge[v] != -1 {
+		panic(fmt.Sprintf("matching: Match(%d) endpoint already matched", e))
+	}
+	m.medge[u], m.medge[v] = int32(e), int32(e)
+	m.size++
+}
+
+// Unmatch removes edge e of g from the matching.
+func (m *Matching) Unmatch(g *Graph, e int) {
+	u, v := g.Endpoints(e)
+	if int(m.medge[u]) != e || int(m.medge[v]) != e {
+		panic(fmt.Sprintf("matching: Unmatch(%d) not in matching", e))
+	}
+	m.medge[u], m.medge[v] = -1, -1
+	m.size--
+}
+
+// Edges returns the sorted list of matched edge ids.
+func (m *Matching) Edges(g *Graph) []int {
+	out := make([]int, 0, m.size)
+	for v := range m.medge {
+		e := m.medge[v]
+		if e != -1 && int(g.from[e]) == v { // count each edge once, at its lower endpoint
+			out = append(out, int(e))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Weight returns the total weight of the matching under g's weights.
+func (m *Matching) Weight(g *Graph) float64 {
+	s := 0.0
+	for _, e := range m.Edges(g) {
+		s += g.Weight(e)
+	}
+	return s
+}
+
+// Verify checks the structural invariants: every recorded edge id is valid,
+// symmetric (recorded at both endpoints), and no node appears in two edges.
+// Returns nil if m is a valid matching of g.
+func (m *Matching) Verify(g *Graph) error {
+	if len(m.medge) != g.N() {
+		return fmt.Errorf("matching: node count %d != graph %d", len(m.medge), g.N())
+	}
+	count := 0
+	for v := range m.medge {
+		e := m.medge[v]
+		if e == -1 {
+			continue
+		}
+		if e < 0 || int(e) >= g.M() {
+			return fmt.Errorf("matching: node %d has invalid edge %d", v, e)
+		}
+		u, w := g.Endpoints(int(e))
+		if u != v && w != v {
+			return fmt.Errorf("matching: node %d records edge %d=(%d,%d) not incident to it", v, e, u, w)
+		}
+		o := g.Other(int(e), v)
+		if int(m.medge[o]) != int(e) {
+			return fmt.Errorf("matching: edge %d recorded at %d but not at mate %d", e, v, o)
+		}
+		count++
+	}
+	if count != 2*m.size {
+		return fmt.Errorf("matching: size %d inconsistent with %d matched endpoints", m.size, count)
+	}
+	return nil
+}
+
+// IsMaximal reports whether no edge of g has both endpoints free.
+func (m *Matching) IsMaximal(g *Graph) bool {
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if m.medge[u] == -1 && m.medge[v] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAugmentingPath reports whether the node sequence path (v0..vk) is an
+// augmenting path w.r.t. m in g: endpoints free, consecutive nodes adjacent,
+// edges alternate unmatched/matched/.../unmatched, and nodes are distinct.
+func (m *Matching) IsAugmentingPath(g *Graph, path []int) bool {
+	if len(path) < 2 || len(path)%2 != 0 {
+		return false // augmenting paths have odd edge count, even node count
+	}
+	if !m.Free(path[0]) || !m.Free(path[len(path)-1]) {
+		return false
+	}
+	seen := make(map[int]bool, len(path))
+	for _, v := range path {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		e := g.EdgeBetween(path[i], path[i+1])
+		if e == -1 {
+			return false
+		}
+		wantMatched := i%2 == 1
+		if m.Has(g, e) != wantMatched {
+			return false
+		}
+	}
+	return true
+}
+
+// AugmentPath flips the matching along the node sequence path, which must be
+// an augmenting path (checked). The matching grows by exactly one edge.
+func (m *Matching) AugmentPath(g *Graph, path []int) {
+	if !m.IsAugmentingPath(g, path) {
+		panic(fmt.Sprintf("matching: AugmentPath on non-augmenting path %v", path))
+	}
+	// Remove matched edges first, then add the unmatched ones.
+	for i := 1; i+1 < len(path); i += 2 {
+		m.Unmatch(g, g.EdgeBetween(path[i], path[i+1]))
+	}
+	for i := 0; i+1 < len(path); i += 2 {
+		m.Match(g, g.EdgeBetween(path[i], path[i+1]))
+	}
+}
+
+// SymDiff returns the symmetric difference M ⊕ P where P is a set of edges,
+// as a new matching. It panics (via Verify) if the result is not a matching.
+func (m *Matching) SymDiff(g *Graph, edges []int) (*Matching, error) {
+	in := make(map[int]bool, len(edges))
+	for _, e := range edges {
+		in[e] = !in[e] // tolerate duplicates by parity
+	}
+	r := NewMatching(g.N())
+	for v := 0; v < g.N(); v++ {
+		e := m.medge[v]
+		if e != -1 && !in[int(e)] && int(g.from[e]) == v {
+			r.Match(g, int(e))
+		}
+	}
+	for e, keep := range in {
+		if keep && !m.Has(g, e) {
+			u, v := g.Endpoints(e)
+			if !r.Free(u) || !r.Free(v) {
+				return nil, fmt.Errorf("matching: symmetric difference is not a matching at edge %d", e)
+			}
+			r.Match(g, e)
+		}
+	}
+	if err := r.Verify(g); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// CollectMatching assembles a Matching from per-node matched-edge ids (-1 =
+// free), as produced by distributed node programs. It panics if the two
+// endpoints of a recorded edge disagree — that would mean the distributed
+// protocol broke its agreement invariant.
+func CollectMatching(g *Graph, matchedEdge []int32) *Matching {
+	m := NewMatching(g.N())
+	for v := 0; v < g.N(); v++ {
+		e := matchedEdge[v]
+		if e < 0 {
+			continue
+		}
+		u := g.Other(int(e), v)
+		if matchedEdge[u] != e {
+			panic(fmt.Sprintf("matching: endpoints %d,%d disagree on matched edge %d", v, u, e))
+		}
+		if v < u {
+			m.Match(g, int(e))
+		}
+	}
+	return m
+}
+
+// FreeNodes returns the list of unmatched nodes.
+func (m *Matching) FreeNodes() []int {
+	var out []int
+	for v := range m.medge {
+		if m.medge[v] == -1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package graph
+
+import "testing"
+
+// path5 returns the path 0-1-2-3-4 with weights 1..4.
+func path5(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	for v := 0; v < 4; v++ {
+		b.AddWeightedEdge(v, v+1, float64(v+1))
+	}
+	return b.MustBuild()
+}
+
+func TestMatchUnmatch(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	e := g.EdgeBetween(1, 2)
+	m.Match(g, e)
+	if m.Size() != 1 || m.Free(1) || m.Free(2) || !m.Free(0) {
+		t.Fatal("match state wrong")
+	}
+	if m.Mate(g, 1) != 2 || m.Mate(g, 2) != 1 || m.Mate(g, 0) != -1 {
+		t.Fatal("mate wrong")
+	}
+	if !m.Has(g, e) {
+		t.Fatal("Has wrong")
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	m.Unmatch(g, e)
+	if m.Size() != 0 || !m.Free(1) {
+		t.Fatal("unmatch state wrong")
+	}
+}
+
+func TestMatchConflictPanics(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting match accepted")
+		}
+	}()
+	m.Match(g, g.EdgeBetween(2, 3))
+}
+
+func TestWeightAndEdges(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(0, 1)) // weight 1
+	m.Match(g, g.EdgeBetween(2, 3)) // weight 3
+	if m.Weight(g) != 4 {
+		t.Fatalf("weight %v want 4", m.Weight(g))
+	}
+	es := m.Edges(g)
+	if len(es) != 2 {
+		t.Fatalf("edges %v", es)
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	if m.IsMaximal(g) {
+		t.Fatal("not maximal: edge (3,4) free")
+	}
+	m.Match(g, g.EdgeBetween(3, 4))
+	if !m.IsMaximal(g) {
+		t.Fatal("should be maximal")
+	}
+}
+
+func TestAugmentingPath(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	path := []int{0, 1, 2, 3}
+	if !m.IsAugmentingPath(g, path) {
+		t.Fatal("0-1-2-3 should be augmenting")
+	}
+	m.AugmentPath(g, path)
+	if m.Size() != 2 || !m.Has(g, g.EdgeBetween(0, 1)) || !m.Has(g, g.EdgeBetween(2, 3)) {
+		t.Fatal("augment result wrong")
+	}
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsAugmentingPathRejects(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	cases := [][]int{
+		{0, 1},          // ends at matched node
+		{0, 1, 2},       // even length (odd node count)
+		{3, 4},          // valid!
+		{0, 1, 2, 4},    // non-adjacent hop
+		{1, 2, 3, 4},    // starts at matched node
+		{0, 1, 2, 3, 4}, // wrong parity
+	}
+	want := []bool{false, false, true, false, false, false}
+	for i, p := range cases {
+		if m.IsAugmentingPath(g, p) != want[i] {
+			t.Fatalf("case %d (%v): got %v", i, p, !want[i])
+		}
+	}
+}
+
+func TestSymDiff(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	// P = edges of augmenting path 0-1-2-3
+	p := []int{g.EdgeBetween(0, 1), g.EdgeBetween(1, 2), g.EdgeBetween(2, 3)}
+	r, err := m.SymDiff(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 || !r.Has(g, g.EdgeBetween(0, 1)) || !r.Has(g, g.EdgeBetween(2, 3)) {
+		t.Fatal("symdiff result wrong")
+	}
+	// A new edge disjoint from the kept matching is fine.
+	if r2, err := m.SymDiff(g, []int{g.EdgeBetween(3, 4)}); err != nil || r2.Size() != 2 {
+		t.Fatalf("disjoint edge symdiff: %v (err %v)", r2, err)
+	}
+	// A new edge adjacent to a kept matched edge must be rejected.
+	if _, err := m.SymDiff(g, []int{g.EdgeBetween(0, 1)}); err == nil {
+		t.Fatal("conflicting symdiff accepted")
+	}
+	// A duplicated edge cancels by parity and leaves m unchanged.
+	if r3, err := m.SymDiff(g, []int{g.EdgeBetween(0, 1), g.EdgeBetween(0, 1)}); err != nil || r3.Size() != 1 {
+		t.Fatalf("parity cancel symdiff: %v (err %v)", r3, err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(0, 1))
+	c := m.Clone()
+	c.Unmatch(g, g.EdgeBetween(0, 1))
+	if m.Size() != 1 || c.Size() != 0 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestFreeNodes(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(1, 2))
+	fn := m.FreeNodes()
+	if len(fn) != 3 || fn[0] != 0 || fn[1] != 3 || fn[2] != 4 {
+		t.Fatalf("free nodes %v", fn)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	g := path5(t)
+	m := NewMatching(g.N())
+	m.Match(g, g.EdgeBetween(0, 1))
+	m.medge[1] = -1 // corrupt: asymmetric record
+	if err := m.Verify(g); err == nil {
+		t.Fatal("verify missed asymmetric corruption")
+	}
+	m2 := NewMatching(g.N())
+	m2.medge[0] = 99 // invalid edge id
+	if err := m2.Verify(g); err == nil {
+		t.Fatal("verify missed invalid edge id")
+	}
+}

@@ -1,0 +1,58 @@
+package israeliitai
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestRunBudgetRoundsAreExact(t *testing.T) {
+	g := gen.RandomTree(rng.New(1), 200)
+	for _, budget := range []int{1, 4, 9} {
+		_, stats := RunBudget(g, 3, budget)
+		if stats.Rounds != 3*budget {
+			t.Fatalf("budget %d: rounds %d, want %d", budget, stats.Rounds, 3*budget)
+		}
+		if stats.OracleCalls != 0 {
+			t.Fatal("budget mode used oracle")
+		}
+	}
+}
+
+func TestRunBudgetQualityImprovesWithBudget(t *testing.T) {
+	g := gen.RandomTree(rng.New(2), 2000)
+	opt := exact.HopcroftKarp(g).Size()
+	small, _ := RunBudget(g, 7, 2)
+	large, _ := RunBudget(g, 7, 16)
+	if small.Size() > large.Size() {
+		t.Fatalf("more budget gave smaller matching: %d vs %d", small.Size(), large.Size())
+	}
+	if float64(large.Size()) < 0.9*float64(opt) {
+		t.Fatalf("16 iterations on a tree should be near-maximal: %d of %d", large.Size(), opt)
+	}
+}
+
+func TestRunBudgetConstantTimeOnTrees(t *testing.T) {
+	// The E12 phenomenon as a unit test: quality at a constant budget does
+	// not degrade as trees grow.
+	for _, n := range []int{500, 4000} {
+		g := gen.RandomTree(rng.New(uint64(n)), n)
+		opt := exact.HopcroftKarp(g).Size()
+		m, _ := RunBudget(g, 11, 6)
+		if ratio := float64(m.Size()) / float64(opt); ratio < 0.6 {
+			t.Fatalf("n=%d: constant-budget ratio %.3f collapsed", n, ratio)
+		}
+	}
+}
+
+func TestRunBudgetResultAlwaysValid(t *testing.T) {
+	g := gen.Gnp(rng.New(3), 100, 0.05)
+	for budget := 0; budget <= 3; budget++ {
+		m, _ := RunBudget(g, uint64(budget), budget)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package israeliitai
+
+import (
+	"testing"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestMaximalOnRandomGraphs(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(60)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.1)
+		m, _ := Run(g, uint64(trial), true)
+		if err := m.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.IsMaximal(g) {
+			t.Fatalf("trial %d: matching not maximal", trial)
+		}
+	}
+}
+
+func TestHalfApproximation(t *testing.T) {
+	// A maximal matching is always >= half the maximum cardinality.
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(40)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.15)
+		m, _ := Run(g, uint64(trial), true)
+		opt := exact.MaxCardinality(g)
+		if 2*m.Size() < opt.Size() {
+			t.Fatalf("trial %d: |M|=%d < |M*|/2=%d/2", trial, m.Size(), opt.Size())
+		}
+	}
+}
+
+func TestLogRoundsScaling(t *testing.T) {
+	// Round counts should grow far slower than linearly in n.
+	r := rng.New(3)
+	rounds := map[int]int{}
+	for _, n := range []int{64, 256, 1024} {
+		g := gen.Gnm(r.Fork(uint64(n)), n, 4*n)
+		_, stats := Run(g, 7, true)
+		rounds[n] = stats.Rounds
+	}
+	if rounds[1024] > 8*rounds[64] {
+		t.Fatalf("rounds not scaling logarithmically: %v", rounds)
+	}
+	if rounds[1024] > 200 {
+		t.Fatalf("rounds suspiciously high: %v", rounds)
+	}
+}
+
+func TestFixedBudgetMode(t *testing.T) {
+	g := gen.Gnp(rng.New(4), 80, 0.1)
+	m, stats := Run(g, 11, false)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsMaximal(g) {
+		t.Fatal("fixed budget failed to reach maximality on an easy instance")
+	}
+	if stats.OracleCalls != 0 {
+		t.Fatal("fixed budget mode must not use the oracle")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.Gnp(rng.New(5), 60, 0.1)
+	a, _ := Run(g, 42, true)
+	b, _ := Run(g, 42, true)
+	if a.Size() != b.Size() {
+		t.Fatal("same seed, different result size")
+	}
+	ae, be := a.Edges(g), b.Edges(g)
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed, different matching")
+		}
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	g0 := gen.Path(1)
+	m, _ := Run(g0, 1, true)
+	if m.Size() != 0 {
+		t.Fatal("single node matched itself?!")
+	}
+	g2 := gen.Path(2)
+	m2, _ := Run(g2, 1, true)
+	if m2.Size() != 1 {
+		t.Fatal("single edge not matched")
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	m, _ := Run(gen.Star(30), 3, true)
+	if m.Size() != 1 {
+		t.Fatalf("star matching size %d, want 1", m.Size())
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	m, _ := Run(gen.Complete(20), 5, true)
+	if m.Size() != 10 {
+		t.Fatalf("K20 maximal matching size %d, want 10 (perfect)", m.Size())
+	}
+}
+
+func TestMessageSizesAreConstant(t *testing.T) {
+	// Israeli–Itai sends only signals and bits: max message size 1 bit.
+	g := gen.Gnp(rng.New(6), 100, 0.08)
+	_, stats := Run(g, 9, true)
+	if stats.MaxMessageBits > 1 {
+		t.Fatalf("max message bits %d, want 1", stats.MaxMessageBits)
+	}
+}
+
+func TestBudgetHelper(t *testing.T) {
+	if Budget(1) < 8 || Budget(1024) < 80 {
+		t.Fatalf("budget too small: %d %d", Budget(1), Budget(1024))
+	}
+}

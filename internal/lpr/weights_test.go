@@ -1,0 +1,77 @@
+package lpr
+
+import (
+	"testing"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// TestRunLocalWeightsDerivedWeights drives the black box through the same
+// embedding Algorithm 5 uses: per-port weights supplied by the caller
+// rather than read from the graph.
+func TestRunLocalWeightsDerivedWeights(t *testing.T) {
+	g := gen.UniformWeights(rng.New(1), gen.Gnp(rng.New(2), 40, 0.15), 1, 50)
+	matched := make([]int32, g.N())
+	dist.Run(g, dist.Config{Seed: 3}, func(nd *dist.Node) {
+		// Derived weights: double the graph weight (order preserved, so
+		// the matching class is unchanged).
+		w := make([]float64, nd.Deg())
+		for p := range w {
+			w[p] = 2 * nd.EdgeWeight(p)
+		}
+		port := RunLocalWeights(nd, w, 0.05, true)
+		matched[nd.ID()] = -1
+		if port >= 0 {
+			matched[nd.ID()] = int32(nd.EdgeID(port))
+		}
+	})
+	m := graph.CollectMatching(g, matched)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 && g.M() > 0 {
+		t.Fatal("derived-weight run matched nothing")
+	}
+}
+
+func TestRunLocalWeightsAllNegative(t *testing.T) {
+	g := gen.Gnp(rng.New(4), 20, 0.2)
+	matchedAny := false
+	dist.Run(g, dist.Config{Seed: 5}, func(nd *dist.Node) {
+		w := make([]float64, nd.Deg())
+		for p := range w {
+			w[p] = -1
+		}
+		if RunLocalWeights(nd, w, 0.1, true) >= 0 {
+			matchedAny = true
+		}
+	})
+	if matchedAny {
+		t.Fatal("matched a negative-weight edge")
+	}
+}
+
+func TestGuaranteeHelper(t *testing.T) {
+	if Guarantee(0.05) != 0.2 {
+		t.Fatalf("Guarantee(0.05) = %v", Guarantee(0.05))
+	}
+}
+
+func TestLocalGreedyBudgetCap(t *testing.T) {
+	// With a tiny iteration cap on the adversarial chain, the result is a
+	// valid (partial) matching; the cap binds.
+	g := gen.AdversarialChain(100)
+	m, stats := LocalGreedy(g, 1, 3, false)
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 3*2+1 {
+		t.Fatalf("cap did not bind: %d rounds", stats.Rounds)
+	}
+	if m.IsMaximal(g) {
+		t.Fatal("3 iterations cannot be maximal on the 100-chain")
+	}
+}

@@ -1,0 +1,102 @@
+package mis
+
+import (
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func TestMISOnRandomGraphs(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(80)
+		g := gen.Gnp(r.Fork(uint64(trial)), n, 0.1)
+		member, _ := Run(g, uint64(trial), true)
+		if msg := Verify(g, member); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+func TestMISFixedBudget(t *testing.T) {
+	g := gen.Gnp(rng.New(2), 100, 0.08)
+	member, stats := Run(g, 3, false)
+	if msg := Verify(g, member); msg != "" {
+		t.Fatal(msg)
+	}
+	if stats.OracleCalls != 0 {
+		t.Fatal("budget mode used oracle")
+	}
+}
+
+func TestMISPath(t *testing.T) {
+	member, _ := Run(gen.Path(10), 5, true)
+	if msg := Verify(gen.Path(10), member); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestMISCompleteGraph(t *testing.T) {
+	g := gen.Complete(25)
+	member, _ := Run(g, 7, true)
+	cnt := 0
+	for _, b := range member {
+		if b {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Fatalf("MIS of complete graph has %d members, want 1", cnt)
+	}
+}
+
+func TestMISEdgelessGraph(t *testing.T) {
+	g := gen.Gnp(rng.New(3), 12, 0)
+	member, _ := Run(g, 9, true)
+	for v, b := range member {
+		if !b {
+			t.Fatalf("isolated node %d not in MIS", v)
+		}
+	}
+}
+
+func TestMISLogRounds(t *testing.T) {
+	r := rng.New(4)
+	rounds := map[int]int{}
+	for _, n := range []int{64, 1024} {
+		g := gen.Gnm(r.Fork(uint64(n)), n, 5*n)
+		_, stats := Run(g, 13, true)
+		rounds[n] = stats.Rounds
+	}
+	if rounds[1024] > 8*rounds[64] || rounds[1024] > 250 {
+		t.Fatalf("rounds not logarithmic: %v", rounds)
+	}
+}
+
+func TestMISDeterminism(t *testing.T) {
+	g := gen.Gnp(rng.New(5), 70, 0.1)
+	a, _ := Run(g, 21, true)
+	b, _ := Run(g, 21, true)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+}
+
+func TestVerifyCatchesBadSets(t *testing.T) {
+	g := gen.Path(4)
+	// Adjacent members.
+	if Verify(g, []bool{true, true, false, false}) == "" {
+		t.Fatal("missed adjacent members")
+	}
+	// Undominated non-member.
+	if Verify(g, []bool{true, false, false, false}) == "" {
+		t.Fatal("missed non-maximality")
+	}
+	// Valid MIS.
+	if msg := Verify(g, []bool{true, false, true, false}); msg != "" {
+		t.Fatal(msg)
+	}
+}

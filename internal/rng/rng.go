@@ -1,0 +1,191 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository.
+//
+// Every randomized algorithm in this module takes an explicit 64-bit seed
+// and derives all of its randomness from it, so that a run is exactly
+// reproducible regardless of goroutine scheduling. Per-node streams are
+// obtained with Fork, which applies an avalanching mix (splitmix64) to the
+// pair (seed, index); distinct indices give statistically independent
+// streams.
+//
+// The core generator is xoshiro256**, seeded via splitmix64 as recommended
+// by its authors. It is not cryptographically secure; it is a simulation
+// RNG.
+package rng
+
+import "math"
+
+// SplitMix64 advances the splitmix64 state and returns the next output.
+// It is exposed because it is also a convenient one-shot hash of a uint64.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix returns an avalanched hash of x. Mix(a) and Mix(a+1) are
+// statistically unrelated, which makes it suitable for stream derivation.
+func Mix(x uint64) uint64 {
+	s := x
+	return SplitMix64(&s)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not usable; construct
+// with New or Fork.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed reinitializes the generator from seed using splitmix64 so that
+// closely related seeds yield unrelated state.
+func (r *Rand) Seed(seed uint64) {
+	st := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&st)
+	}
+	// xoshiro must not start at the all-zero state; splitmix output of any
+	// seed cannot be all zero across four draws, but be defensive anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Fork returns an independent generator for stream index i derived from r's
+// current state without consuming from r. It is used to hand each node of a
+// distributed simulation its own stream.
+func (r *Rand) Fork(i uint64) *Rand {
+	return New(Mix(r.s[0]^Mix(i+0x632be59bd9b4e019)) ^ Mix(r.s[2]+i))
+}
+
+// ForkSeed derives a child seed from (seed, i) without constructing a Rand.
+func ForkSeed(seed, i uint64) uint64 {
+	return Mix(seed^Mix(i+0x632be59bd9b4e019)) ^ Mix(seed+i)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's method with a
+// rejection step to remove modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs in place uniformly at random.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1,
+// via inverse CDF (adequate for workload generation).
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	// Avoid log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// MaxOfUniforms returns one sample distributed as the maximum of n
+// independent uniform draws from {1, ..., m}, using the inverse-CDF trick
+// the paper's token construction relies on (one draw represents the winner
+// of all n paths a leader owns). n may be fractional-safe large; m >= 1.
+func (r *Rand) MaxOfUniforms(n float64, m uint64) uint64 {
+	if n <= 0 || m == 0 {
+		panic("rng: MaxOfUniforms needs n > 0, m >= 1")
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	// P(max <= t) = (t/m)^n  =>  t = m * u^(1/n)
+	v := math.Ceil(float64(m) * math.Pow(u, 1/n))
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(m) {
+		v = float64(m)
+	}
+	return uint64(v)
+}

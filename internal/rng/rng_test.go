@@ -1,0 +1,184 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(7)
+	f1, f2 := r.Fork(0), r.Fork(1)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+	// Forking must not perturb the parent.
+	a := New(7)
+	a.Fork(0)
+	b := New(7)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork consumed parent state")
+	}
+}
+
+func TestForkSeedMatchesFork(t *testing.T) {
+	// ForkSeed gives a usable derivation path for the dist engine.
+	s1 := ForkSeed(99, 3)
+	s2 := ForkSeed(99, 4)
+	if s1 == s2 {
+		t.Fatal("ForkSeed collision for adjacent indices")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7) value %d count %d far from uniform 10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(11)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestMaxOfUniformsDistribution(t *testing.T) {
+	// The mean of max of n uniforms on [1,m] is ~ m*n/(n+1).
+	r := New(13)
+	const m = 1 << 20
+	for _, n := range []float64{1, 2, 8, 64} {
+		sum := 0.0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += float64(r.MaxOfUniforms(n, m))
+		}
+		mean := sum / trials
+		want := float64(m) * n / (n + 1)
+		if math.Abs(mean-want)/want > 0.02 {
+			t.Fatalf("MaxOfUniforms(n=%v) mean %.0f, want ≈ %.0f", n, mean, want)
+		}
+	}
+}
+
+func TestMaxOfUniformsBounds(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		v := r.MaxOfUniforms(1000, 100)
+		if v < 1 || v > 100 {
+			t.Fatalf("MaxOfUniforms out of [1,100]: %d", v)
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := New(19)
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / 20000
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("exp mean %.3f not near 1", mean)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(23)
+	heads := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if heads < 4700 || heads > 5300 {
+		t.Fatalf("coin heavily biased: %d/10000 heads", heads)
+	}
+}

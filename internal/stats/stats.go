@@ -1,0 +1,210 @@
+// Package stats provides the small measurement toolkit used by the
+// benchmark harness: sample aggregation, linear regression (for verifying
+// O(log n) round scaling), and fixed-width table rendering for the
+// EXPERIMENTS.md outputs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a collection of observations.
+type Sample []float64
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s {
+		t += x
+	}
+	return t / float64(len(s))
+}
+
+// Std returns the sample standard deviation.
+func (s Sample) Std() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	t := 0.0
+	for _, x := range s {
+		t += (x - m) * (x - m)
+	}
+	return math.Sqrt(t / float64(len(s)-1))
+}
+
+// Min returns the minimum (0 for empty).
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, x := range s[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty).
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, x := range s[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func (s Sample) Quantile(q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append(Sample(nil), s...)
+	sort.Float64s(c)
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	pos := q * float64(len(c)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// Regression fits y = slope·x + intercept by least squares and returns the
+// coefficient of determination r². Used to confirm that measured rounds
+// grow linearly in log n (i.e. rounds = Θ(log n)).
+func Regression(x, y []float64) (slope, intercept, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: Regression needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(x))
+	sx, sy, sxx, sxy, syy := 0.0, 0.0, 0.0, 0.0, 0.0
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	ssRes := 0.0
+	for i := range x {
+		d := y[i] - (slope*x[i] + intercept)
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return slope, intercept, r2
+}
+
+// Table renders aligned fixed-width text tables (and CSV) for the harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FmtFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FmtFloat renders floats compactly (3 significant decimals, no trailing
+// zeros for integral values).
+func FmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render returns the aligned text representation.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV returns the comma-separated representation.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSampleMoments(t *testing.T) {
+	s := Sample{1, 2, 3, 4}
+	if s.Mean() != 2.5 {
+		t.Fatal("mean")
+	}
+	if math.Abs(s.Std()-1.29099) > 1e-4 {
+		t.Fatalf("std %v", s.Std())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatal("min/max")
+	}
+	var e Sample
+	if e.Mean() != 0 || e.Std() != 0 || e.Min() != 0 || e.Max() != 0 {
+		t.Fatal("empty sample")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := Sample{4, 1, 3, 2}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 4 {
+		t.Fatal("extremes")
+	}
+	if s.Quantile(0.5) != 2.5 {
+		t.Fatalf("median %v", s.Quantile(0.5))
+	}
+}
+
+func TestRegressionExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := Regression(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || r2 < 0.999999 {
+		t.Fatalf("fit: %v %v %v", slope, intercept, r2)
+	}
+}
+
+func TestRegressionNoise(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	slope, _, r2 := Regression(x, y)
+	if slope < 1.8 || slope > 2.2 || r2 < 0.99 {
+		t.Fatalf("noisy fit off: slope %v r2 %v", slope, r2)
+	}
+}
+
+func TestRegressionDegenerate(t *testing.T) {
+	slope, intercept, _ := Regression([]float64{2, 2}, []float64{5, 7})
+	if slope != 0 || intercept != 6 {
+		t.Fatalf("degenerate x handling: %v %v", slope, intercept)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-1 accepted")
+		}
+	}()
+	Regression([]float64{1}, []float64{1})
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "n", "rounds", "ratio")
+	tb.Add(64, 42, 0.981)
+	tb.Add(1024, 77, 1.0)
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "rounds") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "0.981") || !strings.Contains(out, "1024") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "n,rounds,ratio\n") || !strings.Contains(csv, "64,42,0.981") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	if FmtFloat(3) != "3" || FmtFloat(3.14159) != "3.142" {
+		t.Fatalf("fmt: %s %s", FmtFloat(3), FmtFloat(3.14159))
+	}
+}

@@ -1,0 +1,516 @@
+// Package switchsched simulates the input-queued crossbar switch that the
+// paper's introduction presents as the motivating application for fast
+// distributed bipartite matching: "the basic task of a switch is to
+// transfer packets from input-port buffers to output-port buffers … the
+// scheduling routine tries to find the largest possible matching between
+// the input ports and the output ports."
+//
+// The simulator provides virtual-output-queued (VOQ) switching with
+// Bernoulli i.i.d., diagonal, and bursty arrival processes, and the
+// schedulers the paper's history touches: PIM (Anderson, Owicki, Saxe,
+// Thacker — derived from Israeli–Itai [15]), iSLIP (McKeown), maximal
+// greedy, centralized maximum-cardinality and maximum-weight matching, and
+// the paper's distributed (1−1/k)-MCM (core.BipartiteMCM) used as a
+// scheduler. Experiment E9 sweeps offered load and compares delay and
+// throughput across them.
+package switchsched
+
+import (
+	"fmt"
+
+	"distmatch/internal/core"
+	"distmatch/internal/exact"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Queues is the VOQ state visible to a scheduler: Len[i][j] packets queued
+// at input i destined to output j.
+type Queues struct {
+	N   int
+	Len [][]int
+}
+
+// Scheduler selects a crossbar configuration for one time slot.
+type Scheduler interface {
+	Name() string
+	// Schedule returns out[i] = output matched to input i, or -1. Outputs
+	// must be distinct; matched pairs should have Len[i][out[i]] > 0.
+	Schedule(q *Queues, r *rng.Rand) []int
+}
+
+// Arrival generates packet arrivals for one time slot: dest[i] = destination
+// of the packet arriving at input i, or -1 for none.
+type Arrival interface {
+	Name() string
+	Gen(n int, r *rng.Rand, dest []int)
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Arrivals   int64
+	Departures int64
+	TotalDelay int64 // sum over departed packets of (departure - arrival) slots
+	MaxBacklog int   // largest single VOQ length observed
+	Backlog    int   // total packets left queued at the end
+	Slots      int
+}
+
+// Throughput returns departures per input per slot.
+func (r Result) Throughput(n int) float64 {
+	return float64(r.Departures) / (float64(n) * float64(r.Slots))
+}
+
+// MeanDelay returns the average queueing delay of departed packets.
+func (r Result) MeanDelay() float64 {
+	if r.Departures == 0 {
+		return 0
+	}
+	return float64(r.TotalDelay) / float64(r.Departures)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("arr=%d dep=%d meandelay=%.2f backlog=%d",
+		r.Arrivals, r.Departures, r.MeanDelay(), r.Backlog)
+}
+
+// Simulate runs the switch for slots time slots.
+func Simulate(n int, arr Arrival, sched Scheduler, load float64, slots int, seed uint64) Result {
+	res, _ := simulate(n, arr, sched, load, slots, seed, false)
+	return res
+}
+
+// SimulateDelays is Simulate but additionally returns every departed
+// packet's queueing delay, for percentile analysis (p99 tails distinguish
+// schedulers that share a mean).
+func SimulateDelays(n int, arr Arrival, sched Scheduler, load float64, slots int, seed uint64) (Result, []float64) {
+	return simulate(n, arr, sched, load, slots, seed, true)
+}
+
+func simulate(n int, arr Arrival, sched Scheduler, load float64, slots int, seed uint64, collect bool) (Result, []float64) {
+	r := rng.New(seed)
+	arrR := r.Fork(1)
+	schedR := r.Fork(2)
+	loadR := r.Fork(3)
+
+	q := &Queues{N: n, Len: make([][]int, n)}
+	ts := make([][][]int64, n) // arrival timestamps per VOQ (FIFO)
+	head := make([][]int, n)
+	for i := 0; i < n; i++ {
+		q.Len[i] = make([]int, n)
+		ts[i] = make([][]int64, n)
+		head[i] = make([]int, n)
+	}
+	dest := make([]int, n)
+
+	var res Result
+	var delays []float64
+	res.Slots = slots
+	for t := 0; t < slots; t++ {
+		// Arrivals: each input receives a packet with probability `load`.
+		arr.Gen(n, arrR, dest)
+		for i := 0; i < n; i++ {
+			if dest[i] < 0 || loadR.Float64() >= load {
+				continue
+			}
+			j := dest[i]
+			q.Len[i][j]++
+			ts[i][j] = append(ts[i][j], int64(t))
+			res.Arrivals++
+			if q.Len[i][j] > res.MaxBacklog {
+				res.MaxBacklog = q.Len[i][j]
+			}
+		}
+		// Schedule and transfer.
+		m := sched.Schedule(q, schedR)
+		seen := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			j := m[i]
+			if j < 0 {
+				continue
+			}
+			if seen[j] {
+				panic(fmt.Sprintf("switchsched: %s assigned output %d twice", sched.Name(), j))
+			}
+			seen[j] = true
+			if q.Len[i][j] == 0 {
+				continue // idle grant; allowed but useless
+			}
+			q.Len[i][j]--
+			at := ts[i][j][head[i][j]]
+			head[i][j]++
+			if head[i][j] > 1024 && head[i][j]*2 > len(ts[i][j]) {
+				ts[i][j] = append([]int64(nil), ts[i][j][head[i][j]:]...)
+				head[i][j] = 0
+			}
+			res.Departures++
+			res.TotalDelay += int64(t) - at
+			if collect {
+				delays = append(delays, float64(int64(t)-at))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			res.Backlog += q.Len[i][j]
+		}
+	}
+	return res, delays
+}
+
+// ---- Arrival processes ----
+
+// Uniform sends each packet to a uniformly random output.
+type Uniform struct{}
+
+// Name implements Arrival.
+func (Uniform) Name() string { return "uniform" }
+
+// Gen implements Arrival.
+func (Uniform) Gen(n int, r *rng.Rand, dest []int) {
+	for i := 0; i < n; i++ {
+		dest[i] = r.Intn(n)
+	}
+}
+
+// Diagonal is the skewed pattern from the iSLIP literature: input i sends
+// to output i with probability 2/3 and to output i+1 (mod n) otherwise.
+type Diagonal struct{}
+
+// Name implements Arrival.
+func (Diagonal) Name() string { return "diagonal" }
+
+// Gen implements Arrival.
+func (Diagonal) Gen(n int, r *rng.Rand, dest []int) {
+	for i := 0; i < n; i++ {
+		if r.Intn(3) < 2 {
+			dest[i] = i
+		} else {
+			dest[i] = (i + 1) % n
+		}
+	}
+}
+
+// Hotspot directs a fraction of all traffic at output 0 and spreads the
+// rest uniformly — the classical overload pattern under which only
+// queue-aware schedulers keep the uncongested outputs flowing.
+type Hotspot struct {
+	// Fraction of packets aimed at output 0 (0 < Fraction <= 1).
+	Fraction float64
+}
+
+// Name implements Arrival.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%.2f)", h.Fraction) }
+
+// Gen implements Arrival.
+func (h Hotspot) Gen(n int, r *rng.Rand, dest []int) {
+	for i := 0; i < n; i++ {
+		if r.Float64() < h.Fraction {
+			dest[i] = 0
+		} else {
+			dest[i] = r.Intn(n)
+		}
+	}
+}
+
+// Bursty sends geometric-length bursts to a fixed destination per burst.
+type Bursty struct {
+	MeanBurst int // mean burst length (geometric), >= 1
+	state     []int
+	cur       []int
+}
+
+// Name implements Arrival.
+func (b *Bursty) Name() string { return fmt.Sprintf("bursty(%d)", b.MeanBurst) }
+
+// Gen implements Arrival.
+func (b *Bursty) Gen(n int, r *rng.Rand, dest []int) {
+	if b.state == nil {
+		b.state = make([]int, n)
+		b.cur = make([]int, n)
+		for i := range b.cur {
+			b.cur[i] = r.Intn(n)
+		}
+	}
+	mean := b.MeanBurst
+	if mean < 1 {
+		mean = 8
+	}
+	for i := 0; i < n; i++ {
+		if b.state[i] <= 0 {
+			b.cur[i] = r.Intn(n)
+			// geometric with mean `mean`
+			b.state[i] = 1
+			for r.Intn(mean) != 0 {
+				b.state[i]++
+			}
+		}
+		b.state[i]--
+		dest[i] = b.cur[i]
+	}
+}
+
+// ---- Schedulers ----
+
+// PIM is Parallel Iterative Matching (Anderson et al. 1993): Iters rounds
+// of random request/grant/accept, the direct descendant of Israeli–Itai.
+type PIM struct{ Iters int }
+
+// Name implements Scheduler.
+func (p PIM) Name() string { return fmt.Sprintf("PIM(%d)", p.Iters) }
+
+// Schedule implements Scheduler.
+func (p PIM) Schedule(q *Queues, r *rng.Rand) []int {
+	n := q.N
+	inMatch := filled(n, -1)
+	outMatch := filled(n, -1)
+	iters := p.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	grants := make([][]int, n)
+	for it := 0; it < iters; it++ {
+		// Request + grant: each free output picks one random requester.
+		for j := 0; j < n; j++ {
+			grants[j] = grants[j][:0]
+		}
+		for i := 0; i < n; i++ {
+			if inMatch[i] != -1 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if outMatch[j] == -1 && q.Len[i][j] > 0 {
+					grants[j] = append(grants[j], i)
+				}
+			}
+		}
+		granted := make([][]int, n) // granted[i] = outputs granting input i
+		for j := 0; j < n; j++ {
+			if outMatch[j] != -1 || len(grants[j]) == 0 {
+				continue
+			}
+			i := grants[j][r.Intn(len(grants[j]))]
+			granted[i] = append(granted[i], j)
+		}
+		// Accept: each input picks one random grant.
+		for i := 0; i < n; i++ {
+			if inMatch[i] != -1 || len(granted[i]) == 0 {
+				continue
+			}
+			j := granted[i][r.Intn(len(granted[i]))]
+			inMatch[i] = j
+			outMatch[j] = i
+		}
+	}
+	return inMatch
+}
+
+// ISLIP is McKeown's iSLIP: PIM with round-robin grant and accept pointers,
+// updated only for matches formed in the first iteration.
+type ISLIP struct {
+	Iters  int
+	grantP []int // per-output grant pointer
+	accP   []int // per-input accept pointer
+}
+
+// Name implements Scheduler.
+func (s *ISLIP) Name() string { return fmt.Sprintf("iSLIP(%d)", s.Iters) }
+
+// Schedule implements Scheduler.
+func (s *ISLIP) Schedule(q *Queues, r *rng.Rand) []int {
+	n := q.N
+	if s.grantP == nil {
+		s.grantP = make([]int, n)
+		s.accP = make([]int, n)
+	}
+	inMatch := filled(n, -1)
+	outMatch := filled(n, -1)
+	iters := s.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		// Grant: each free output grants the nearest requesting free input
+		// at or after its pointer.
+		grantTo := filled(n, -1)
+		for j := 0; j < n; j++ {
+			if outMatch[j] != -1 {
+				continue
+			}
+			for d := 0; d < n; d++ {
+				i := (s.grantP[j] + d) % n
+				if inMatch[i] == -1 && q.Len[i][j] > 0 {
+					grantTo[j] = i
+					break
+				}
+			}
+		}
+		// Accept: each input accepts the nearest granting output at or
+		// after its pointer.
+		for i := 0; i < n; i++ {
+			if inMatch[i] != -1 {
+				continue
+			}
+			acc := -1
+			for d := 0; d < n; d++ {
+				j := (s.accP[i] + d) % n
+				if grantTo[j] == i {
+					acc = j
+					break
+				}
+			}
+			if acc == -1 {
+				continue
+			}
+			inMatch[i] = acc
+			outMatch[acc] = i
+			if it == 0 {
+				s.accP[i] = (acc + 1) % n
+				s.grantP[acc] = (i + 1) % n
+			}
+		}
+	}
+	return inMatch
+}
+
+// Greedy matches VOQs in a fixed order — the naive maximal baseline.
+type Greedy struct{}
+
+// Name implements Scheduler.
+func (Greedy) Name() string { return "greedy" }
+
+// Schedule implements Scheduler.
+func (Greedy) Schedule(q *Queues, r *rng.Rand) []int {
+	n := q.N
+	inMatch := filled(n, -1)
+	outUsed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !outUsed[j] && q.Len[i][j] > 0 {
+				inMatch[i] = j
+				outUsed[j] = true
+				break
+			}
+		}
+	}
+	return inMatch
+}
+
+// MaxSize computes an exact maximum-cardinality matching of the request
+// graph every slot (Hopcroft–Karp) — the target the paper's (1−ε)-MCM
+// approximates.
+type MaxSize struct{}
+
+// Name implements Scheduler.
+func (MaxSize) Name() string { return "maxsize" }
+
+// Schedule implements Scheduler.
+func (MaxSize) Schedule(q *Queues, r *rng.Rand) []int {
+	g := requestGraph(q, nil)
+	m := exact.HopcroftKarp(g)
+	return matchingToPorts(q.N, g, m)
+}
+
+// MaxWeight schedules an exact maximum-weight matching with queue lengths
+// as weights — the classical throughput-optimal scheduler. (The request
+// graph is bipartite, so the Hungarian solver applies.)
+type MaxWeight struct{}
+
+// Name implements Scheduler.
+func (MaxWeight) Name() string { return "maxweight" }
+
+// Schedule implements Scheduler.
+func (MaxWeight) Schedule(q *Queues, r *rng.Rand) []int {
+	g := requestGraph(q, func(i, j int) float64 { return float64(q.Len[i][j]) })
+	m := exact.HungarianMWM(g)
+	return matchingToPorts(q.N, g, m)
+}
+
+// DistMWM runs the paper's distributed (½−ε)-MWM (core.WeightedMWM,
+// Algorithm 5) with queue lengths as weights — the weighted counterpart of
+// DistMCM, approximating the throughput-optimal MaxWeight scheduler with a
+// message-passing computation inside the fabric.
+type DistMWM struct {
+	Eps float64
+}
+
+// Name implements Scheduler.
+func (d *DistMWM) Name() string { return fmt.Sprintf("dist-mwm(ε=%.2g)", d.epsOrDefault()) }
+
+func (d *DistMWM) epsOrDefault() float64 {
+	if d.Eps <= 0 || d.Eps >= 0.5 {
+		return 0.25
+	}
+	return d.Eps
+}
+
+// Schedule implements Scheduler.
+func (d *DistMWM) Schedule(q *Queues, r *rng.Rand) []int {
+	g := requestGraph(q, func(i, j int) float64 { return float64(q.Len[i][j]) })
+	m, _ := core.WeightedMWM(g, d.epsOrDefault(), r.Uint64(), true, nil)
+	return matchingToPorts(q.N, g, m)
+}
+
+// DistMCM runs the paper's distributed bipartite (1−1/k)-MCM
+// (core.BipartiteMCM) on the request graph each slot — the switch fabric
+// scheduling its own ports with the reproduced algorithm.
+type DistMCM struct {
+	K    int
+	seed uint64
+}
+
+// Name implements Scheduler.
+func (d *DistMCM) Name() string { return fmt.Sprintf("dist-mcm(k=%d)", d.K) }
+
+// Schedule implements Scheduler.
+func (d *DistMCM) Schedule(q *Queues, r *rng.Rand) []int {
+	g := requestGraph(q, nil)
+	d.seed++
+	k := d.K
+	if k < 1 {
+		k = 2
+	}
+	m, _ := core.BipartiteMCM(g, k, r.Uint64(), true)
+	return matchingToPorts(q.N, g, m)
+}
+
+// requestGraph builds the bipartite request graph: inputs 0..n-1 on side X,
+// outputs n..2n-1 on side Y, one edge per nonempty VOQ.
+func requestGraph(q *Queues, weight func(i, j int) float64) *graph.Graph {
+	n := q.N
+	b := graph.NewBuilder(2 * n)
+	for v := 0; v < n; v++ {
+		b.SetSide(v, 0)
+		b.SetSide(n+v, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if q.Len[i][j] > 0 {
+				w := 1.0
+				if weight != nil {
+					w = weight(i, j)
+				}
+				b.AddWeightedEdge(i, n+j, w)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func matchingToPorts(n int, g *graph.Graph, m *graph.Matching) []int {
+	out := filled(n, -1)
+	for i := 0; i < n; i++ {
+		if mate := m.Mate(g, i); mate >= 0 {
+			out[i] = mate - n
+		}
+	}
+	return out
+}
+
+func filled(n, v int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = v
+	}
+	return a
+}

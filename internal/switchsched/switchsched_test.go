@@ -1,0 +1,184 @@
+package switchsched
+
+import (
+	"testing"
+
+	"distmatch/internal/rng"
+)
+
+func TestUniformLowLoadAllServed(t *testing.T) {
+	// At low load every scheduler should deliver essentially everything.
+	for _, s := range []Scheduler{PIM{Iters: 4}, &ISLIP{Iters: 4}, Greedy{}, MaxSize{}, MaxWeight{}} {
+		res := Simulate(8, Uniform{}, s, 0.2, 3000, 1)
+		if float64(res.Departures) < 0.95*float64(res.Arrivals) {
+			t.Fatalf("%s at load 0.2: departed %d of %d", s.Name(), res.Departures, res.Arrivals)
+		}
+	}
+}
+
+func TestMaxSizeBeatsGreedyAtHighLoad(t *testing.T) {
+	n, slots := 16, 4000
+	greedy := Simulate(n, Uniform{}, Greedy{}, 0.95, slots, 7)
+	maxsize := Simulate(n, Uniform{}, MaxSize{}, 0.95, slots, 7)
+	if maxsize.Departures < greedy.Departures {
+		t.Fatalf("maxsize (%d) should not lose to greedy (%d) in departures",
+			maxsize.Departures, greedy.Departures)
+	}
+	if maxsize.Backlog > greedy.Backlog*2 {
+		t.Fatalf("maxsize backlog %d vs greedy %d", maxsize.Backlog, greedy.Backlog)
+	}
+}
+
+func TestPIMOneIterationVsFour(t *testing.T) {
+	// More PIM iterations → larger matchings → fewer leftovers at high load.
+	n, slots := 16, 3000
+	one := Simulate(n, Uniform{}, PIM{Iters: 1}, 0.9, slots, 3)
+	four := Simulate(n, Uniform{}, PIM{Iters: 4}, 0.9, slots, 3)
+	if four.Backlog > one.Backlog {
+		t.Fatalf("PIM(4) backlog %d worse than PIM(1) %d", four.Backlog, one.Backlog)
+	}
+}
+
+func TestISLIPDesynchronizesUnderFullUniformLoad(t *testing.T) {
+	// iSLIP's pointer desynchronization achieves near-100% throughput on
+	// uniform traffic; single-iteration PIM saturates near 63%.
+	n, slots := 16, 6000
+	islip := Simulate(n, Uniform{}, &ISLIP{Iters: 1}, 1.0, slots, 5)
+	pim := Simulate(n, Uniform{}, PIM{Iters: 1}, 1.0, slots, 5)
+	ti, tp := islip.Throughput(n), pim.Throughput(n)
+	if ti < 0.9 {
+		t.Fatalf("iSLIP throughput %.3f, expected near 1 under uniform saturation", ti)
+	}
+	if tp > ti {
+		t.Fatalf("PIM(1) throughput %.3f should not beat iSLIP %.3f", tp, ti)
+	}
+}
+
+func TestDistMCMMatchesMaxSizeQuality(t *testing.T) {
+	// The paper's distributed (1-1/k)-MCM used as the scheduler should be
+	// within (1-1/k) of maxsize departures at matched load.
+	n, slots := 8, 400
+	d := Simulate(n, Uniform{}, &DistMCM{K: 3}, 0.85, slots, 9)
+	ms := Simulate(n, Uniform{}, MaxSize{}, 0.85, slots, 9)
+	if float64(d.Departures) < 0.66*float64(ms.Departures) {
+		t.Fatalf("dist-mcm departures %d below 2/3 of maxsize %d", d.Departures, ms.Departures)
+	}
+}
+
+func TestSchedulersNeverDoubleBookOutputs(t *testing.T) {
+	// Simulate panics internally on double-booked outputs; run all
+	// schedulers under bursty traffic to exercise that assertion.
+	for _, s := range []Scheduler{PIM{Iters: 2}, &ISLIP{Iters: 2}, Greedy{}, MaxSize{}, MaxWeight{}, &DistMCM{K: 2}, &DistMWM{Eps: 0.25}} {
+		Simulate(6, &Bursty{MeanBurst: 6}, s, 0.7, 200, 11)
+	}
+}
+
+func TestDistMWMApproximatesMaxWeight(t *testing.T) {
+	// The paper's weighted algorithm as a scheduler should land in the
+	// same departure class as exact MaxWeight at moderate load.
+	n, slots := 6, 250
+	d := Simulate(n, Uniform{}, &DistMWM{Eps: 0.25}, 0.8, slots, 23)
+	mw := Simulate(n, Uniform{}, MaxWeight{}, 0.8, slots, 23)
+	if float64(d.Departures) < 0.75*float64(mw.Departures) {
+		t.Fatalf("dist-mwm departures %d too far below maxweight %d", d.Departures, mw.Departures)
+	}
+}
+
+func TestDiagonalTrafficFavorsMaxWeight(t *testing.T) {
+	// Under skewed diagonal load, maxweight remains stable where greedy
+	// accumulates backlog.
+	n, slots := 16, 4000
+	mw := Simulate(n, Diagonal{}, MaxWeight{}, 0.9, slots, 13)
+	gr := Simulate(n, Diagonal{}, Greedy{}, 0.9, slots, 13)
+	if mw.Backlog > gr.Backlog {
+		t.Fatalf("maxweight backlog %d exceeds greedy %d under diagonal load", mw.Backlog, gr.Backlog)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	a := Simulate(8, Uniform{}, PIM{Iters: 2}, 0.8, 500, 21)
+	b := Simulate(8, Uniform{}, PIM{Iters: 2}, 0.8, 500, 21)
+	if a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+func TestBurstyGeneratorBurstiness(t *testing.T) {
+	// Consecutive slots should frequently repeat destinations.
+	b := &Bursty{MeanBurst: 16}
+	r := rng.New(31)
+	dest := make([]int, 4)
+	b.Gen(4, r, dest)
+	prev := append([]int(nil), dest...)
+	same, total := 0, 0
+	for k := 0; k < 200; k++ {
+		b.Gen(4, r, dest)
+		for i := range dest {
+			if dest[i] == prev[i] {
+				same++
+			}
+			total++
+		}
+		copy(prev, dest)
+	}
+	if float64(same)/float64(total) < 0.7 {
+		t.Fatalf("bursty traffic not bursty: %d/%d repeats", same, total)
+	}
+}
+
+func TestSimulateDelaysPercentiles(t *testing.T) {
+	res, delays := SimulateDelays(8, Uniform{}, &ISLIP{Iters: 1}, 0.8, 2000, 17)
+	if int64(len(delays)) != res.Departures {
+		t.Fatalf("collected %d delays, departed %d", len(delays), res.Departures)
+	}
+	var sum float64
+	for _, d := range delays {
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+		sum += d
+	}
+	if mean := sum / float64(len(delays)); mathAbs(mean-res.MeanDelay()) > 1e-9 {
+		t.Fatalf("delay sample mean %v != result mean %v", mean, res.MeanDelay())
+	}
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHotspotTrafficCongestsOutputZero(t *testing.T) {
+	// Under a 50% hotspot at full load, output 0 is oversubscribed: the
+	// backlog must concentrate in column 0 while other outputs stay served.
+	n, slots := 8, 4000
+	res := Simulate(n, Hotspot{Fraction: 0.5}, MaxWeight{}, 0.9, slots, 19)
+	// Offered load at output 0 is ~ 0.9*(0.5 + 0.5/8)*8 ≈ 4x service rate:
+	// throughput is capped but nonzero, and the system must not deadlock.
+	if res.Departures == 0 {
+		t.Fatal("hotspot starved everything")
+	}
+	if res.Backlog < 1000 {
+		t.Fatalf("expected a large hotspot backlog, got %d", res.Backlog)
+	}
+	uni := Simulate(n, Uniform{}, MaxWeight{}, 0.9, slots, 19)
+	if uni.Backlog >= res.Backlog {
+		t.Fatal("uniform traffic should backlog less than hotspot")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := Result{Arrivals: 10, Departures: 5, TotalDelay: 50, Slots: 100}
+	if r.MeanDelay() != 10 {
+		t.Fatal("mean delay wrong")
+	}
+	if r.Throughput(5) != 0.01 {
+		t.Fatal("throughput wrong")
+	}
+	var empty Result
+	if empty.MeanDelay() != 0 {
+		t.Fatal("empty delay should be 0")
+	}
+}

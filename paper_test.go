@@ -1,0 +1,85 @@
+package distmatch
+
+// TestPaperHeadlineClaims is the single integration test that asserts, in
+// one place, the paper's four headline results on a common workload — the
+// claims a reader would check first. Each algorithm's detailed behaviour is
+// covered by its own package tests; this is the end-to-end smoke proof.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperHeadlineClaims(t *testing.T) {
+	seed := uint64(2008) // SPAA 2008
+
+	// ---- Theorem 3.8: bipartite (1−1/k)-MCM, CONGEST messages. ----
+	bg := RandomBipartite(seed, 400, 400, 0.01)
+	bres := MCMBipartite(bg, 3, seed)
+	bopt := OptimalMCM(bg).Size()
+	if float64(bres.Matching.Size()) < (2.0/3.0)*float64(bopt) {
+		t.Fatalf("Theorem 3.8 violated: %d < 2/3·%d", bres.Matching.Size(), bopt)
+	}
+	if bres.Stats.MaxMessageBits > 256 {
+		t.Fatalf("Theorem 3.8 message size suspicious: %d bits", bres.Stats.MaxMessageBits)
+	}
+
+	// ---- Theorem 3.1: generic (1−ε)-MCM on a general graph. ----
+	gg := RandomGraph(seed+1, 40, 0.1)
+	gres := MCMGeneric(gg, 0.34, seed+1)
+	gopt := OptimalMCM(gg).Size()
+	if float64(gres.Matching.Size()) < 0.66*float64(gopt)-1e-9 {
+		t.Fatalf("Theorem 3.1 violated: %d < (1-ε)·%d", gres.Matching.Size(), gopt)
+	}
+
+	// ---- Theorem 3.11: general (1−1/k)-MCM via bipartite sampling. ----
+	ng := RandomGraph(seed+2, 60, 0.08)
+	nres := MCMGeneral(ng, 3, seed+2)
+	nopt := OptimalMCM(ng).Size()
+	if float64(nres.Matching.Size()) < (2.0/3.0)*float64(nopt)-1e-9 {
+		t.Fatalf("Theorem 3.11 violated: %d < 2/3·%d", nres.Matching.Size(), nopt)
+	}
+
+	// ---- Theorem 4.5: (½−ε)-MWM. ----
+	wg := WithExpWeights(seed+3, RandomGraph(seed+3, 48, 0.12), 10)
+	eps := 0.1
+	wres := MWMHalf(wg, eps, seed+3)
+	wopt := OptimalMWM(wg).Weight(wg)
+	if wres.Matching.Weight(wg) < (0.5-eps)*wopt-1e-9 {
+		t.Fatalf("Theorem 4.5 violated: %.3f < (1/2-ε)·%.3f", wres.Matching.Weight(wg), wopt)
+	}
+
+	// ---- And the improvement claims of §1: the paper's algorithms beat
+	// the guarantees of what came before them on the same inputs. ----
+	ii := MaximalMatching(ng, seed+4)
+	if nres.Matching.Size() < ii.Matching.Size() {
+		// Algorithm 4 includes every Israeli–Itai outcome in its reach;
+		// with the same optimum denominator it must not do worse than the
+		// 1/2 guarantee class.
+		if float64(nres.Matching.Size()) < 0.5*float64(nopt) {
+			t.Fatal("Algorithm 4 fell below even the Israeli–Itai guarantee")
+		}
+	}
+	q := MWMQuarter(wg, 0.05, seed+5)
+	if wres.Matching.Weight(wg) < q.Matching.Weight(wg)*0.9 {
+		t.Fatalf("Algorithm 5 (%.1f) should not trail its own black box (%.1f) by >10%%",
+			wres.Matching.Weight(wg), q.Matching.Weight(wg))
+	}
+}
+
+func TestRoundScalingIsLogarithmic(t *testing.T) {
+	// The repository's core complexity claim, as a test: doubling n four
+	// times must not even double the bipartite algorithm's round count.
+	if testing.Short() {
+		t.Skip("scaling test skipped in -short mode")
+	}
+	rounds := map[int]int{}
+	for _, half := range []int{128, 2048} {
+		g := RandomBipartite(uint64(half), half, half, math.Min(1, 4.0/float64(half)))
+		res := MCMBipartite(g, 3, uint64(half))
+		rounds[half] = res.Stats.Rounds
+	}
+	if rounds[2048] > 2*rounds[128] {
+		t.Fatalf("rounds grew super-logarithmically: %v", rounds)
+	}
+}
