@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet race tier1 bench bench-engine bench-baseline clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the repository's gate: everything must build and every test
+# must pass, plus one engine-round benchmark iteration as a smoke check.
+tier1: build vet test bench-engine
+
+bench-engine:
+	$(GO) test -bench=EngineRound -benchtime=1x -run '^$$' .
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+# bench-baseline records the full benchmark suite into BENCH_baseline.json
+# so future performance PRs have a trajectory to compare against.
+bench-baseline:
+	./scripts/bench_baseline.sh
+
+clean:
+	$(GO) clean ./...

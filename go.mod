@@ -1,0 +1,3 @@
+module distmatch
+
+go 1.24

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"iter"
+	"sync"
+)
+
+// Node programs run as coroutines parked on the engine's round barrier,
+// built on iter.Pull: its pull/yield pair is a direct runtime stack
+// switch (runtime.coroswitch) that never visits the scheduler run queue —
+// the property the engine's round rate depends on. (The raw runtime
+// coroutine primitives underneath are linker-restricted to package iter,
+// so iter.Pull is the fastest parking primitive available outside the
+// runtime.)
+//
+// Coroutines are pooled across runs: creating one costs a goroutine spawn
+// plus a dozen heap allocations, which at engine rates is a measurable
+// slice of a whole short run. An idle pooled coroutine is parked in its
+// dispatch loop; a Run adopts it by binding an assignment and resuming.
+// Every coroutine returns to idle no matter how its program ends —
+// normal return, real panic (recovered by runProgram), or engine abort
+// (abortPanic, also recovered) — so pool entries are always reusable.
+//
+// Panic transport does not rely on unwinding across the switch: every
+// panic is recovered on the coroutine side and handed over in memory, so
+// next never rethrows. The yield value carries nothing — barrier metadata
+// travels through the Node and its worker.
+
+// pooledCoro is one reusable node coroutine.
+type pooledCoro struct {
+	next  func() (struct{}, bool)
+	stop  func()
+	yield func(struct{}) bool
+
+	// The current assignment, set by bind while the coroutine idles.
+	nd   *Node
+	prog func(*Node)
+}
+
+func newPooledCoro() *pooledCoro {
+	pc := &pooledCoro{}
+	pc.next, pc.stop = iter.Pull(func(yield func(struct{}) bool) {
+		pc.yield = yield
+		for {
+			// Idle: parked until a Run binds an assignment and resumes.
+			if !yield(struct{}{}) {
+				return // pool shutdown (stop)
+			}
+			pc.nd.runProgram(pc.prog)
+			pc.nd, pc.prog = nil, nil
+		}
+	})
+	pc.next() // advance to the first idle yield
+	return pc
+}
+
+// bind attaches the coroutine to nd for one run. The node's first resume
+// starts the program.
+func (pc *pooledCoro) bind(nd *Node, program func(*Node)) {
+	pc.nd, pc.prog = nd, program
+	nd.next = pc.next
+	nd.yield = pc.yield
+}
+
+// coroPool recycles idle coroutines across runs. Capacity bounds the
+// retained goroutines (a parked coroutine holds its 2KiB stack); runs
+// larger than the pool simply create the excess and return up to capacity.
+var coroPool struct {
+	sync.Mutex
+	idle []*pooledCoro
+}
+
+const coroPoolCap = 1 << 14
+
+// grabCoros returns n pooled coroutines, creating what the pool can't
+// supply.
+func grabCoros(n int) []*pooledCoro {
+	coroPool.Lock()
+	have := len(coroPool.idle)
+	take := n
+	if take > have {
+		take = have
+	}
+	out := make([]*pooledCoro, n)
+	copy(out, coroPool.idle[have-take:])
+	coroPool.idle = coroPool.idle[:have-take]
+	coroPool.Unlock()
+	for i := take; i < n; i++ {
+		out[i] = newPooledCoro()
+	}
+	return out
+}
+
+// releaseCoros returns idle coroutines to the pool, dropping (stopping)
+// any overflow beyond the pool's capacity.
+func releaseCoros(pcs []*pooledCoro) {
+	coroPool.Lock()
+	room := coroPoolCap - len(coroPool.idle)
+	if room > len(pcs) {
+		room = len(pcs)
+	}
+	coroPool.idle = append(coroPool.idle, pcs[:room]...)
+	coroPool.Unlock()
+	for _, pc := range pcs[room:] {
+		pc.stop()
+	}
+}
+
+// launch adopts one pooled coroutine per node. Program bodies do not
+// start until the node's first resume.
+func (e *engine) launch(program func(*Node)) {
+	e.coros = grabCoros(e.n)
+	for i := range e.nodes {
+		e.coros[i].bind(&e.nodes[i], program)
+	}
+}

@@ -1,0 +1,490 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"distmatch/internal/graph"
+)
+
+// triangle builds the hand-auditable 3-node graph used by the accounting
+// tests: edges (0,1), (0,2), (1,2); every node has degree 2.
+func triangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	return b.MustBuild()
+}
+
+// path4 builds the bipartite path 0-1-2-3.
+func path4(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	return b.MustBuild()
+}
+
+// ring builds the n-cycle, a deterministic regular test topology.
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.MustBuild()
+}
+
+func TestNodeGeometry(t *testing.T) {
+	g := triangle(t)
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		if nd.N() != 3 || nd.Deg() != 2 || nd.MaxDegree() != 2 {
+			t.Errorf("node %d: bad geometry N=%d deg=%d Δ=%d", nd.ID(), nd.N(), nd.Deg(), nd.MaxDegree())
+		}
+		for p := 0; p < nd.Deg(); p++ {
+			u := nd.NbrID(p)
+			e := nd.EdgeID(p)
+			a, b := g.Endpoints(e)
+			if (a != nd.ID() || b != u) && (b != nd.ID() || a != u) {
+				t.Errorf("node %d port %d: edge %d=(%d,%d) does not join %d-%d",
+					nd.ID(), p, e, a, b, nd.ID(), u)
+			}
+			if nd.EdgeWeight(p) != 1 {
+				t.Errorf("unweighted edge reported weight %v", nd.EdgeWeight(p))
+			}
+		}
+	})
+}
+
+// TestStatsAccounting audits every Stats field on a run whose traffic can
+// be counted by hand: on the triangle, each node sends one Signal to each
+// neighbor in round 1 (6 messages, 6 bits), then node 0 alone sends one
+// 5-bit Count in round 2 (1 message), then everyone StepOrs (round 3).
+func TestStatsAccounting(t *testing.T) {
+	g := triangle(t)
+	st := Run(g, Config{Seed: 7, Profile: true}, func(nd *Node) {
+		nd.SendAll(Signal{})
+		in := nd.Step()
+		if len(in) != 2 {
+			t.Errorf("node %d: %d incoming, want 2", nd.ID(), len(in))
+		}
+		if nd.ID() == 0 {
+			nd.Send(1, Count(17)) // 17 needs 5 bits
+		}
+		in = nd.Step()
+		for _, m := range in {
+			if c, ok := m.Msg.(Count); !ok || c != 17 {
+				t.Errorf("node %d: unexpected delivery %v", nd.ID(), m)
+			}
+		}
+		nd.StepOr(false)
+	})
+	if st.Rounds != 3 {
+		t.Fatalf("Rounds = %d, want 3", st.Rounds)
+	}
+	if st.Messages != 7 {
+		t.Fatalf("Messages = %d, want 7", st.Messages)
+	}
+	if st.Bits != 6+5 {
+		t.Fatalf("Bits = %d, want 11", st.Bits)
+	}
+	if st.MaxMessageBits != 5 {
+		t.Fatalf("MaxMessageBits = %d, want 5", st.MaxMessageBits)
+	}
+	if st.OracleCalls != 3 {
+		t.Fatalf("OracleCalls = %d, want 3 (one per node)", st.OracleCalls)
+	}
+	if len(st.Profile) != 3 {
+		t.Fatalf("Profile has %d rounds, want 3", len(st.Profile))
+	}
+	p := st.Profile
+	if p[0].Messages != 6 || p[0].Bits != 6 || p[0].MaxBits != 1 || p[0].Oracle {
+		t.Fatalf("round 0 profile wrong: %+v", p[0])
+	}
+	if p[1].Messages != 1 || p[1].Bits != 5 || p[1].MaxBits != 5 || p[1].Oracle {
+		t.Fatalf("round 1 profile wrong: %+v", p[1])
+	}
+	if p[2].Messages != 0 || !p[2].Oracle {
+		t.Fatalf("round 2 profile wrong: %+v", p[2])
+	}
+	// Pipelining estimate: rounds of 1, 5 and 0 bits under a 2-bit cap
+	// cost ⌈1/2⌉+⌈5/2⌉+1 = 1+3+1.
+	if pr := st.PipelinedRounds(2); pr != 5 {
+		t.Fatalf("PipelinedRounds(2) = %d, want 5", pr)
+	}
+	if pr := st.PipelinedRounds(0); pr != st.Rounds {
+		t.Fatalf("PipelinedRounds(0) = %d, want Rounds", pr)
+	}
+	if s := st.String(); !strings.Contains(s, "rounds=3") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestDeliveryAndPortOrder checks that messages arrive on the right ports
+// in increasing port order, exactly one round after being sent.
+func TestDeliveryAndPortOrder(t *testing.T) {
+	g := ring(5)
+	type tag struct {
+		Signal
+		from int32
+	}
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		nd.SendAll(tag{from: int32(nd.ID())})
+		in := nd.Step()
+		if len(in) != 2 {
+			t.Errorf("node %d: %d incoming", nd.ID(), len(in))
+		}
+		for i, m := range in {
+			if i > 0 && in[i-1].Port >= m.Port {
+				t.Errorf("node %d: ports out of order: %v", nd.ID(), in)
+			}
+			if int(m.Msg.(tag).from) != nd.NbrID(m.Port) {
+				t.Errorf("node %d: message from %d arrived on port to %d",
+					nd.ID(), m.Msg.(tag).from, nd.NbrID(m.Port))
+			}
+		}
+		// No further sends: the next round must deliver nothing.
+		if in := nd.Step(); len(in) != 0 {
+			t.Errorf("node %d: stale delivery %v", nd.ID(), in)
+		}
+	})
+}
+
+// TestStepOrSemantics: the OR is over all submitted values of that round.
+func TestStepOrSemantics(t *testing.T) {
+	g := path4(t)
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		if _, or := nd.StepOr(nd.ID() == 2); !or {
+			t.Errorf("node %d: OR with one true input reported false", nd.ID())
+		}
+		if _, or := nd.StepOr(false); or {
+			t.Errorf("node %d: OR of all-false reported true", nd.ID())
+		}
+	})
+}
+
+// TestStepMaxSemantics: the max is over all submitted values.
+func TestStepMaxSemantics(t *testing.T) {
+	g := path4(t)
+	st := Run(g, Config{Seed: 1}, func(nd *Node) {
+		vals := []float64{3, -8, 11, 0.5}
+		if _, mx := nd.StepMax(vals[nd.ID()]); mx != 11 {
+			t.Errorf("node %d: max = %v, want 11", nd.ID(), mx)
+		}
+		if _, mx := nd.StepMax(-float64(nd.ID() + 1)); mx != -1 {
+			t.Errorf("node %d: max = %v, want -1", nd.ID(), mx)
+		}
+	})
+	if st.OracleCalls != 8 {
+		t.Fatalf("OracleCalls = %d, want 8", st.OracleCalls)
+	}
+	if st.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", st.Rounds)
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the parallel-equals-serial proof:
+// a randomized protocol (a one-shot proposal exchange with per-node coin
+// flips) must produce bit-identical transcripts for any worker count.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := ring(257) // odd prime, forces uneven chunks
+	run := func(workers int) ([]uint64, Stats) {
+		out := make([]uint64, g.N())
+		st := Run(g, Config{Seed: 42, Workers: workers}, func(nd *Node) {
+			r := nd.Rand()
+			for round := 0; round < 8; round++ {
+				pick := r.Intn(nd.Deg())
+				nd.Send(pick, Count(float64(nd.ID()+round)))
+				in := nd.Step()
+				h := out[nd.ID()]
+				for _, m := range in {
+					h = h*1000003 + uint64(m.Port)<<32 + uint64(float64(m.Msg.(Count)))
+				}
+				out[nd.ID()] = h
+			}
+		})
+		return out, *st
+	}
+	base, baseStats := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, gotStats := run(workers)
+		for v := range base {
+			if got[v] != base[v] {
+				t.Fatalf("workers=%d: node %d transcript differs", workers, v)
+			}
+		}
+		if gotStats.Rounds != baseStats.Rounds || gotStats.Messages != baseStats.Messages ||
+			gotStats.Bits != baseStats.Bits || gotStats.MaxMessageBits != baseStats.MaxMessageBits ||
+			gotStats.OracleCalls != baseStats.OracleCalls {
+			t.Fatalf("workers=%d: stats differ: %v vs %v", workers, gotStats.String(), baseStats.String())
+		}
+	}
+}
+
+// TestSeedSensitivity: different seeds give different random streams.
+func TestSeedSensitivity(t *testing.T) {
+	g := ring(16)
+	draw := func(seed uint64) uint64 {
+		var acc uint64
+		Run(g, Config{Seed: seed}, func(nd *Node) {
+			v := nd.Rand().Uint64()
+			if nd.ID() == 0 {
+				acc = v
+			}
+		})
+		return acc
+	}
+	if draw(1) == draw(2) {
+		t.Fatal("seeds 1 and 2 produced identical streams")
+	}
+	if draw(1) != draw(1) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+// TestEarlyReturnAndFinalSends: a node may return while others continue;
+// messages sent in its final segment are still delivered, and rounds keep
+// counting while anyone is running.
+func TestEarlyReturnAndFinalSends(t *testing.T) {
+	g := path4(t)
+	var got Incoming
+	st := Run(g, Config{Seed: 1}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Bit(true)) // farewell to node 1, then exit
+			return
+		}
+		in := nd.Step()
+		if nd.ID() == 1 {
+			if len(in) != 1 {
+				t.Errorf("node 1: want the farewell, got %v", in)
+			} else {
+				got = in[0]
+			}
+		}
+		nd.Step() // one more round among the survivors
+	})
+	if b, ok := got.Msg.(Bit); !ok || !bool(b) {
+		t.Fatalf("farewell not delivered: %+v", got)
+	}
+	if st.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", st.Rounds)
+	}
+	if st.Messages != 1 {
+		t.Fatalf("Messages = %d, want 1", st.Messages)
+	}
+}
+
+// TestPanicPropagation: a node-program panic aborts the run and re-panics
+// with the same value in the caller; other nodes' programs are unwound.
+func TestPanicPropagation(t *testing.T) {
+	g := triangle(t)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom-2") {
+			t.Fatalf("wrong panic value: %v", r)
+		}
+	}()
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		nd.Step()
+		if nd.ID() == 2 {
+			panic("boom-2")
+		}
+		for {
+			nd.Step() // survivors would spin forever without the abort
+		}
+	})
+	t.Fatal("Run returned despite panic")
+}
+
+// TestPanicLowestIDWins: when several nodes panic in the same round, the
+// reported value is deterministic (lowest node id).
+func TestPanicLowestIDWins(t *testing.T) {
+	g := ring(6)
+	for trial := 0; trial < 3; trial++ {
+		func() {
+			defer func() {
+				if r := recover(); fmt.Sprint(r) != "boom-1" {
+					t.Fatalf("got %v, want boom-1", r)
+				}
+			}()
+			Run(g, Config{Seed: uint64(trial), Workers: 1 + trial}, func(nd *Node) {
+				if nd.ID()%2 == 1 {
+					panic(fmt.Sprintf("boom-%d", nd.ID()))
+				}
+				nd.Step()
+			})
+		}()
+	}
+}
+
+// TestMaxRoundsExactFitSurvives: a protocol using exactly MaxRounds
+// rounds terminates normally — the limit means "exceeds", not "reaches".
+func TestMaxRoundsExactFitSurvives(t *testing.T) {
+	g := triangle(t)
+	st := Run(g, Config{Seed: 1, MaxRounds: 3}, func(nd *Node) {
+		nd.Step()
+		nd.Step()
+		nd.Step()
+	})
+	if st.Rounds != 3 {
+		t.Fatalf("Rounds = %d, want 3", st.Rounds)
+	}
+}
+
+// TestMaxRounds: the round limit guards against non-terminating protocols.
+func TestMaxRounds(t *testing.T) {
+	g := triangle(t)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "MaxRounds") {
+			t.Fatalf("expected MaxRounds panic, got %v", r)
+		}
+	}()
+	Run(g, Config{Seed: 1, MaxRounds: 10}, func(nd *Node) {
+		for {
+			nd.Step()
+		}
+	})
+	t.Fatal("runaway protocol was not stopped")
+}
+
+// TestDesyncDetection: mixing Step and StepOr in one round is a protocol
+// bug the engine must flag rather than misaggregate.
+func TestDesyncDetection(t *testing.T) {
+	g := triangle(t)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "desync") {
+			t.Fatalf("expected desync panic, got %v", r)
+		}
+	}()
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.StepOr(true)
+		} else {
+			nd.Step()
+		}
+		nd.Step()
+	})
+	t.Fatal("desync was not detected")
+}
+
+// TestSendValidation: out-of-range ports and nil messages are rejected.
+func TestSendValidation(t *testing.T) {
+	g := triangle(t)
+	for name, bad := range map[string]func(*Node){
+		"port":       func(nd *Node) { nd.Send(2, Signal{}) },
+		"negative":   func(nd *Node) { nd.Send(-1, Signal{}) },
+		"nilMsg":     func(nd *Node) { nd.Send(0, nil) },
+		"nilSendAll": func(nd *Node) { nd.SendAll(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: invalid send not rejected", name)
+				}
+			}()
+			Run(g, Config{Seed: 1}, func(nd *Node) {
+				if nd.ID() == 0 {
+					bad(nd)
+				}
+				nd.Step()
+			})
+		}()
+	}
+}
+
+// TestOverwriteOnDoubleSend: the one-message-per-port-per-round rule.
+func TestOverwriteOnDoubleSend(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	Run(g, Config{Seed: 1}, func(nd *Node) {
+		if nd.ID() == 0 {
+			nd.Send(0, Count(1))
+			nd.Send(0, Count(2))
+		}
+		in := nd.Step()
+		if nd.ID() == 1 {
+			if len(in) != 1 || in[0].Msg.(Count) != 2 {
+				t.Errorf("want single overwritten Count(2), got %v", in)
+			}
+		}
+	})
+}
+
+// TestZeroAndTinyGraphs: the engine handles empty and edgeless graphs.
+func TestZeroAndTinyGraphs(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	st := Run(empty, Config{Seed: 1}, func(nd *Node) { t.Error("program ran on empty graph") })
+	if st.Rounds != 0 {
+		t.Fatalf("empty graph ran %d rounds", st.Rounds)
+	}
+	lone := graph.NewBuilder(1).MustBuild()
+	ran := false
+	st = Run(lone, Config{Seed: 1}, func(nd *Node) {
+		ran = true
+		nd.SendAll(Signal{}) // degree 0: a no-op
+		if in := nd.Step(); len(in) != 0 {
+			t.Errorf("lone node received %v", in)
+		}
+	})
+	if !ran || st.Rounds != 1 || st.Messages != 0 {
+		t.Fatalf("lone node run malformed: ran=%v %v", ran, st)
+	}
+}
+
+// TestCoroutineReuse: back-to-back runs recycle pooled coroutines and
+// stay correct (the pool survives aborted runs too).
+func TestCoroutineReuse(t *testing.T) {
+	g := ring(64)
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() { _ = recover() }()
+			Run(g, Config{Seed: uint64(i)}, func(nd *Node) {
+				nd.Step()
+				if nd.ID() == i {
+					panic("abort this run")
+				}
+				nd.Step()
+			})
+		}()
+		sum := 0
+		Run(g, Config{Seed: uint64(i)}, func(nd *Node) {
+			nd.SendAll(Signal{})
+			in := nd.Step()
+			if nd.ID() == 0 {
+				sum = len(in)
+			}
+		})
+		if sum != 2 {
+			t.Fatalf("iteration %d: post-abort run broken (got %d incoming)", i, sum)
+		}
+	}
+}
+
+// TestMessageBitsHelpers pins the CONGEST accounting units.
+func TestMessageBitsHelpers(t *testing.T) {
+	if (Signal{}).Bits() != 1 || Bit(true).Bits() != 1 {
+		t.Fatal("signal/bit width must be 1")
+	}
+	for _, tc := range []struct {
+		v    Count
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {17, 5}, {1024, 11}, {-4, 3}, {1 << 62, 63}} {
+		if got := tc.v.Bits(); got != tc.want {
+			t.Errorf("Count(%v).Bits() = %d, want %d", float64(tc.v), got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {256, 8}, {257, 9}, {1 << 20, 20},
+	} {
+		if got := IDBits(tc.n); got != tc.want {
+			t.Errorf("IDBits(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

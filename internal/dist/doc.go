@@ -1,0 +1,78 @@
+// Package dist is the round-synchronous message-passing engine underneath
+// every distributed algorithm in this module. A simulation is one call to
+// Run(g, cfg, program): the engine instantiates one logical processor per
+// graph node, runs `program` on each of them in lockstep, and returns the
+// aggregate execution cost as a *Stats.
+//
+// # Programming model
+//
+// A node program is ordinary sequential Go code. It addresses its
+// neighbors only through local port numbers 0..Deg()-1 (the standard
+// anonymous-network convention; the graph package precomputes the port
+// tables). The primitives are:
+//
+//   - Send(port, msg) / SendAll(msg): buffer a message for delivery at the
+//     end of the current round. At most one message per (sender, port) per
+//     round is retained — sending twice on a port overwrites, as a real
+//     link would if the protocol violated the one-message-per-round rule.
+//   - Step(): finish the round. Every node's round r sends become visible
+//     to receivers when their Step() of round r returns, as a slice of
+//     Incoming{Port, Msg} ordered by port. The slice is valid only until
+//     the node's next Step — it is overwritten in place each round.
+//   - StepOr(b) / StepMax(x): a round that additionally computes a global
+//     OR / max over the values submitted by all still-running nodes — the
+//     convergence oracle. Each use costs one round and is tallied per node
+//     in Stats.OracleCalls (a real network would spend Θ(diameter) rounds
+//     per call; see DESIGN.md §2).
+//
+// All nodes must call the Step variants in lockstep: a round in which some
+// nodes call Step and others StepOr/StepMax is a protocol desync and makes
+// the engine panic rather than silently misaggregate. A node may return at
+// any time; messages it sent in its final segment are still delivered, and
+// the simulation continues until every node program has returned.
+//
+// # Execution model
+//
+// The engine is built for throughput (BenchmarkEngineRound tracks it in
+// node-rounds/s):
+//
+//   - Node programs run as coroutine-style goroutines (iter.Pull) parked
+//     on a custom round barrier. Resuming a parked node is a direct stack
+//     switch (runtime.coroswitch underneath), not a trip through the
+//     scheduler's run queue; the coroutines themselves are pooled across
+//     runs, so a Run's setup does not respawn a goroutine per node.
+//   - Mailboxes are flat and CSR-indexed: one slot per directed arc,
+//     double-buffered. Send writes straight into the receiver's slot of
+//     the back buffer (each arc has exactly one writer, so there is no
+//     contention and no delivery pass); the barrier flips the buffers.
+//     Steady-state rounds allocate nothing, and the port tables are
+//     cached per graph across runs.
+//   - A worker pool (Config.Workers, default GOMAXPROCS) owns contiguous
+//     node chunks; workers resume their nodes one stack switch at a time
+//     while the nodes fold the reductions (global OR/max, traffic
+//     accounting) into chunk-local accumulators, and the engine combines
+//     the per-chunk partials at the barrier.
+//   - Every node draws randomness from its own deterministic stream,
+//     forked from Config.Seed by node id (rng.ForkSeed). Together with
+//     fixed mailbox slots and associative-commutative reductions this
+//     makes runs bit-identical regardless of worker count or scheduling.
+//
+// See DESIGN.md §1 for measured round-rate numbers and the scaling model.
+//
+// # LOCAL vs CONGEST bit accounting
+//
+// The engine itself is model-agnostic: it delivers arbitrary Message
+// values. The LOCAL/CONGEST distinction lives entirely in the accounting,
+// following the convention of Lotker–Patt-Shamir–Pettie (and the message
+// sizes stressed by Fischer's deterministic rounding and the
+// communication-complexity lower bounds of Huang et al., see PAPERS.md):
+// every Message declares its own width via Bits(), and the engine records
+// the total (Stats.Bits), the per-round peak, and the overall peak
+// (Stats.MaxMessageBits). A CONGEST algorithm is one whose MaxMessageBits
+// stays O(log n) — asserted by tests, not assumed — while the generic
+// LOCAL-model algorithm's neighborhoods show up as Θ(|V|+|E|)-bit
+// messages. Stats.PipelinedRounds(c) converts a LOCAL execution into the
+// round count it would cost if every message were pipelined in c-bit
+// chunks (the Lemma 3.7 transformation); internal/core's strict mode
+// executes that transformation for real and matches the estimate.
+package dist

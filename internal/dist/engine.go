@@ -1,0 +1,571 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"weak"
+
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Config configures one Run.
+type Config struct {
+	// Seed is the root of all randomness: node v draws from the stream
+	// rng.ForkSeed(Seed, v). Identical seeds give bit-identical runs
+	// regardless of Workers or goroutine scheduling.
+	Seed uint64
+	// Profile records a per-round traffic profile into Stats.Profile.
+	Profile bool
+	// Workers is the number of chunk workers resuming nodes and folding
+	// reductions; 0 means GOMAXPROCS. Results do not depend on it.
+	Workers int
+	// MaxRounds aborts (panics) a run that exceeds this many rounds —
+	// a guard against protocols that fail to converge. 0 means no limit.
+	MaxRounds int
+}
+
+// abortPanic unwinds a node program when the engine cancels the run; the
+// coroutine-side recover in runProgram swallows it.
+type abortPanic struct{}
+
+// Node is one logical processor of the simulated network. Exactly one
+// goroutine — the node's program — may use a Node, and only between Run's
+// invocation of the program and the program's return.
+//
+// The struct is laid out to keep one resume's working state on a single
+// cache line: the barrier sweep touches every live Node once per round.
+// Cold per-node state (RNG, stop/panic bookkeeping, mailbox views) lives
+// in engine-side slabs.
+type Node struct {
+	id   int32
+	deg  int32
+	base int32 // first directed-arc index in the engine's flat port tables
+
+	done bool // program returned (or was unwound); never resume again
+
+	eng *engine
+	wk  *worker // owning chunk worker; parked while the program runs
+
+	// Coroutine handles (see coro.go): next resumes the program, yield
+	// parks it. One word each; stop is cold and lives in the engine.
+	next func() (struct{}, bool)
+	// yield parks the node program at a round barrier (see park).
+	yield func(struct{}) bool
+}
+
+// ID returns this node's identifier in [0, N).
+func (nd *Node) ID() int { return int(nd.id) }
+
+// N returns the network size.
+func (nd *Node) N() int { return nd.eng.n }
+
+// Deg returns this node's degree (its port count).
+func (nd *Node) Deg() int { return int(nd.deg) }
+
+// NbrID returns the identifier of the neighbor behind port p.
+func (nd *Node) NbrID(p int) int { return int(nd.eng.nbr[nd.base+int32(p)]) }
+
+// EdgeID returns the global undirected edge id behind port p.
+func (nd *Node) EdgeID(p int) int { return int(nd.eng.eid[nd.base+int32(p)]) }
+
+// EdgeWeight returns the weight of the edge behind port p.
+func (nd *Node) EdgeWeight(p int) float64 { return nd.eng.g.Weight(nd.EdgeID(p)) }
+
+// Side returns this node's bipartition side (0 = X, 1 = Y); it panics on a
+// non-bipartite graph, like graph.Side.
+func (nd *Node) Side() int { return nd.eng.g.Side(int(nd.id)) }
+
+// Bipartite reports whether the underlying graph is bipartite.
+func (nd *Node) Bipartite() bool { return nd.eng.g.IsBipartite() }
+
+// MaxDegree returns the graph's maximum degree Δ (global knowledge the
+// paper's algorithms assume).
+func (nd *Node) MaxDegree() int { return nd.eng.g.MaxDegree() }
+
+// Rand returns this node's private deterministic random stream.
+func (nd *Node) Rand() *rng.Rand { return &nd.eng.rnds[nd.id] }
+
+// Send buffers msg for delivery on port p at the end of this round. A
+// second Send on the same port in the same round overwrites the first.
+func (nd *Node) Send(p int, msg Message) {
+	if uint32(p) >= uint32(nd.deg) {
+		panic(fmt.Sprintf("dist: node %d Send on port %d, degree %d", nd.id, p, nd.deg))
+	}
+	if msg == nil {
+		panic("dist: Send of nil message")
+	}
+	e := nd.eng
+	e.nxt[e.dest[nd.base+int32(p)]] = msg
+	nd.account(msg.Bits(), 1)
+}
+
+// SendAll buffers msg on every port.
+func (nd *Node) SendAll(msg Message) {
+	deg := int(nd.deg)
+	if deg == 0 {
+		return
+	}
+	if msg == nil {
+		panic("dist: SendAll of nil message")
+	}
+	e := nd.eng
+	nxt := e.nxt
+	dest := e.dest[nd.base : int(nd.base)+deg]
+	for _, d := range dest {
+		nxt[d] = msg
+	}
+	nd.account(msg.Bits(), deg)
+}
+
+// account charges traffic straight to the owning worker's round counters:
+// the worker is parked while the program runs, so the node has exclusive
+// access.
+func (nd *Node) account(bits, msgs int) {
+	w := nd.wk
+	w.msgs += int64(msgs)
+	w.bits += int64(bits) * int64(msgs)
+	if int32(bits) > w.maxBits {
+		w.maxBits = int32(bits)
+	}
+}
+
+// Step ends the current round and returns the messages delivered to this
+// node, in increasing port order. All nodes advance in lockstep.
+//
+// The returned slice is only valid until this node's next Step (or
+// StepOr/StepMax): it aliases a per-node buffer that the next round
+// overwrites in place, which is what keeps steady-state rounds
+// allocation-free. Copy entries that must outlive the round.
+func (nd *Node) Step() []Incoming {
+	nd.wk.parked++
+	nd.park()
+	return nd.collect()
+}
+
+// StepOr ends the round like Step and additionally aggregates a global OR
+// over every running node's submitted value — the convergence oracle. It
+// returns the delivered messages and the OR. Counted in Stats.OracleCalls.
+func (nd *Node) StepOr(local bool) ([]Incoming, bool) {
+	w := nd.wk
+	w.parked++
+	w.orCnt++
+	w.or = w.or || local
+	nd.park()
+	return nd.collect(), nd.eng.orGlobal
+}
+
+// StepMax is StepOr with a global max over float64 values (identity -Inf).
+func (nd *Node) StepMax(local float64) ([]Incoming, float64) {
+	w := nd.wk
+	w.parked++
+	w.maxCnt++
+	if local > w.max {
+		w.max = local
+	}
+	nd.park()
+	return nd.collect(), nd.eng.maxGlobal
+}
+
+// park suspends the node program until the engine finishes the round. The
+// suspension is a coroutine switch back into the owning worker.
+func (nd *Node) park() {
+	nd.yield(struct{}{})
+	if nd.eng.aborting {
+		// The engine cancelled the run; unwind the program (recovered
+		// and swallowed by runProgram).
+		panic(abortPanic{})
+	}
+}
+
+// runProgram is the coroutine body. It recovers every panic on the
+// coroutine side — a real panic would otherwise crash the process from a
+// bare coroutine, and unwinding across a stack switch is not an option —
+// and hands the value to the engine in memory. It also self-reports
+// completion, so the worker's resume loop has nothing to check.
+func (nd *Node) runProgram(program func(*Node)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPanic); !ok {
+				nd.wk.notePanic(int(nd.id), r)
+			}
+		}
+		nd.done = true
+		nd.wk.done++
+	}()
+	program(nd)
+}
+
+// collect drains this node's mailbox slots of the front buffer. The node
+// owns its slots, so clearing them here leaves the buffer empty for its
+// next turn as the back buffer.
+func (nd *Node) collect() []Incoming {
+	e := nd.eng
+	lo, hi := int(nd.base), int(nd.base)+int(nd.deg)
+	in := e.inSlab[lo:hi]
+	cur := e.cur[lo:hi]
+	k := 0
+	for p := range cur {
+		if m := cur[p]; m != nil {
+			cur[p] = nil
+			in[k] = Incoming{Port: p, Msg: m}
+			k++
+		}
+	}
+	return in[:k]
+}
+
+// buildDest derives the one table the graph's own CSR arrays don't
+// already provide: dest[a] is the receiver-side mailbox slot arc
+// a = off(v)+p delivers into, i.e. off(nbr[a]) + rev[a].
+func buildDest(g *graph.Graph) []int32 {
+	off, nbr, _, rev := g.CSR()
+	dest := make([]int32, len(nbr))
+	for a := range dest {
+		dest[a] = off[nbr[a]] + rev[a]
+	}
+	return dest
+}
+
+// tableCacheSize bounds the dest-table cache: enough for the handful of
+// graphs a benchmark or experiment loop alternates between, small enough
+// that retired entries don't accumulate.
+const tableCacheSize = 4
+
+var tableCache struct {
+	sync.Mutex
+	entries [tableCacheSize]struct {
+		g    weak.Pointer[graph.Graph]
+		dest []int32
+	}
+	clock int
+}
+
+// destFor returns (building if needed) the cached dest table of g. Keys
+// are weak pointers: the cache never keeps an abandoned graph alive, and
+// a slot whose graph was collected is reused first.
+func destFor(g *graph.Graph) []int32 {
+	tableCache.Lock()
+	free := -1
+	for i := range tableCache.entries {
+		e := &tableCache.entries[i]
+		if e.dest == nil {
+			if free == -1 {
+				free = i
+			}
+			continue
+		}
+		switch e.g.Value() {
+		case g:
+			dest := e.dest
+			tableCache.Unlock()
+			return dest
+		case nil: // graph collected: slot reusable
+			e.dest = nil
+			if free == -1 {
+				free = i
+			}
+		}
+	}
+	tableCache.Unlock()
+	dest := buildDest(g)
+	tableCache.Lock()
+	i := free
+	if i == -1 {
+		i = tableCache.clock
+		tableCache.clock = (i + 1) % tableCacheSize
+	}
+	tableCache.entries[i].g = weak.Make(g)
+	tableCache.entries[i].dest = dest
+	tableCache.Unlock()
+	return dest
+}
+
+// engine is the per-Run state shared by all nodes and workers.
+type engine struct {
+	g   *graph.Graph
+	cfg Config
+	n   int
+
+	// Flat port geometry: nbr and eid alias the graph's own CSR arrays;
+	// dest (cached per graph) maps arc a = off(v)+p to the receiver-side
+	// mailbox slot it delivers into.
+	nbr, eid []int32
+	dest     []int32
+
+	// Double-buffered mailboxes, one slot per directed arc. Programs read
+	// cur (clearing their own slots) and write nxt; the barrier swaps.
+	cur, nxt []Message
+	// inSlab backs every node's Step return slice, partitioned by base.
+	inSlab []Incoming
+
+	nodes []Node
+	rnds  []rng.Rand    // per-node streams, indexed by id
+	coros []*pooledCoro // adopted coroutines, indexed by id (cold)
+
+	// aborting makes every subsequent park unwind its program; set (only)
+	// before the abortLive sweep.
+	aborting bool
+
+	orGlobal  bool
+	maxGlobal float64
+
+	workers  []worker
+	dispatch []chan struct{}
+	wg       sync.WaitGroup
+
+	stats Stats
+}
+
+// worker owns the contiguous node chunk [lo, hi): it resumes the chunk's
+// node programs one coroutine switch at a time, while the nodes themselves
+// fold the chunk-local part of every reduction (traffic counters, global
+// OR/max, park/done counts) into the worker's fields — race-free because
+// the worker is suspended whenever one of its nodes runs.
+type worker struct {
+	e      *engine
+	lo, hi int32
+
+	// Round aggregates, reset at the start of runRound.
+	parked  int
+	done    int
+	orCnt   int
+	maxCnt  int
+	or      bool
+	max     float64
+	msgs    int64
+	bits    int64
+	maxBits int32
+
+	panicID  int // lowest node id that panicked this run, -1 if none
+	panicVal any
+
+	prefetch bool // sink for the sweep's next-node warmup load
+}
+
+func (w *worker) notePanic(id int, v any) {
+	if w.panicID == -1 || id < w.panicID {
+		w.panicID, w.panicVal = id, v
+	}
+}
+
+// runRound resumes every live node of the chunk once. All bookkeeping is
+// node-side; the sweep itself is just the coroutine switches.
+func (w *worker) runRound() {
+	w.parked, w.done, w.orCnt, w.maxCnt = 0, 0, 0, 0
+	w.or, w.max = false, math.Inf(-1)
+	w.msgs, w.bits, w.maxBits = 0, 0, 0
+	nodes := w.e.nodes
+	for i := w.lo; i < w.hi; i++ {
+		nd := &nodes[i]
+		if i+1 < w.hi {
+			// Touch the next node's line so it loads while this node's
+			// program runs; the sweep is latency-bound on cold per-node
+			// state. The store keeps the load from being dead-coded.
+			w.prefetch = nodes[i+1].done
+		}
+		if !nd.done {
+			nd.next() // coroutine switch into the node program
+		}
+	}
+}
+
+// Run simulates program on every node of g in synchronous rounds and
+// returns the aggregate cost. It returns once every node program has; a
+// panic inside any node program aborts the run and re-panics with the
+// same value in the caller's goroutine.
+func Run(g *graph.Graph, cfg Config, program func(*Node)) *Stats {
+	e := newEngine(g, cfg)
+	if e.n != 0 {
+		e.launch(program)
+		defer e.close()
+		e.loop()
+	}
+	// Return a copy: callers routinely retain the Stats, and a pointer
+	// into the engine would pin its O(n+m) slabs for that lifetime.
+	st := e.stats
+	return &st
+}
+
+func newEngine(g *graph.Graph, cfg Config) *engine {
+	n := g.N()
+	arcs := 2 * g.M()
+	_, nbr, eid, _ := g.CSR()
+	e := &engine{
+		g:      g,
+		cfg:    cfg,
+		n:      n,
+		nbr:    nbr,
+		eid:    eid,
+		dest:   destFor(g),
+		cur:    make([]Message, arcs),
+		nxt:    make([]Message, arcs),
+		inSlab: make([]Incoming, arcs),
+		nodes:  make([]Node, n),
+		rnds:   make([]rng.Rand, n),
+	}
+	base := int32(0)
+	for v := 0; v < n; v++ {
+		nd := &e.nodes[v]
+		nd.id, nd.base = int32(v), base
+		nd.deg = int32(g.Deg(v))
+		nd.eng = e
+		e.rnds[v].Seed(rng.ForkSeed(cfg.Seed, uint64(v)))
+		base += nd.deg
+	}
+
+	nw := cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > n {
+		nw = n
+	}
+	e.workers = make([]worker, nw)
+	for i := range e.workers {
+		w := &e.workers[i]
+		*w = worker{
+			e:       e,
+			lo:      int32(i * n / nw),
+			hi:      int32((i + 1) * n / nw),
+			panicID: -1,
+		}
+		for v := w.lo; v < w.hi; v++ {
+			e.nodes[v].wk = w
+		}
+	}
+	if nw > 1 {
+		e.dispatch = make([]chan struct{}, nw)
+		for i := range e.dispatch {
+			e.dispatch[i] = make(chan struct{}, 1)
+			go func(w *worker, ch chan struct{}) {
+				for range ch {
+					w.runRound()
+					e.wg.Done()
+				}
+			}(&e.workers[i], e.dispatch[i])
+		}
+	}
+	return e
+}
+
+func (e *engine) loop() {
+	live := e.n
+	for live > 0 {
+		e.runRound()
+		agg := e.combine()
+		if agg.panicID != -1 {
+			e.abortLive()
+			panic(agg.panicVal)
+		}
+		live -= agg.done
+		e.stats.Messages += agg.msgs
+		e.stats.Bits += agg.bits
+		if agg.parked == 0 {
+			// Final segments only: every remaining program returned
+			// without another barrier, so no round is charged.
+			continue
+		}
+		if (agg.orCnt != 0 || agg.maxCnt != 0) &&
+			(agg.orCnt != agg.parked || agg.maxCnt != 0) &&
+			(agg.maxCnt != agg.parked || agg.orCnt != 0) {
+			e.abortLive()
+			panic("dist: protocol desync: nodes parked on different Step primitives in the same round")
+		}
+		e.stats.Rounds++
+		e.stats.roundMaxBits = append(e.stats.roundMaxBits, agg.maxBits)
+		if int(agg.maxBits) > e.stats.MaxMessageBits {
+			e.stats.MaxMessageBits = int(agg.maxBits)
+		}
+		oracle := true
+		switch {
+		case agg.orCnt == agg.parked && agg.orCnt > 0:
+			e.orGlobal = agg.or
+		case agg.maxCnt == agg.parked && agg.maxCnt > 0:
+			e.maxGlobal = agg.max
+		default:
+			oracle = false
+		}
+		if oracle {
+			e.stats.OracleCalls += int64(agg.parked)
+		}
+		if e.cfg.Profile {
+			e.stats.Profile = append(e.stats.Profile, RoundProfile{
+				Messages: agg.msgs, Bits: agg.bits, MaxBits: int(agg.maxBits), Oracle: oracle,
+			})
+		}
+		e.cur, e.nxt = e.nxt, e.cur
+		if e.cfg.MaxRounds > 0 && e.stats.Rounds > e.cfg.MaxRounds && live > 0 {
+			e.abortLive()
+			panic(fmt.Sprintf("dist: run exceeded Config.MaxRounds=%d with %d nodes still running",
+				e.cfg.MaxRounds, live))
+		}
+	}
+}
+
+func (e *engine) runRound() {
+	if e.dispatch == nil {
+		e.workers[0].runRound()
+		return
+	}
+	e.wg.Add(len(e.dispatch))
+	for _, ch := range e.dispatch {
+		ch <- struct{}{}
+	}
+	e.wg.Wait()
+}
+
+// combine folds the per-worker chunk aggregates of the round just run.
+func (e *engine) combine() worker {
+	if len(e.workers) == 1 {
+		return e.workers[0]
+	}
+	agg := worker{max: math.Inf(-1), panicID: -1}
+	for i := range e.workers {
+		w := &e.workers[i]
+		agg.parked += w.parked
+		agg.done += w.done
+		agg.orCnt += w.orCnt
+		agg.maxCnt += w.maxCnt
+		agg.or = agg.or || w.or
+		if w.max > agg.max {
+			agg.max = w.max
+		}
+		agg.msgs += w.msgs
+		agg.bits += w.bits
+		if w.maxBits > agg.maxBits {
+			agg.maxBits = w.maxBits
+		}
+		if w.panicID != -1 {
+			agg.notePanic(w.panicID, w.panicVal)
+		}
+	}
+	return agg
+}
+
+// abortLive unwinds every still-parked node program: with aborting set,
+// each resumed park panics an abortPanic, which runProgram recovers, and
+// the coroutine drops back to its idle loop. Afterwards every coroutine of
+// the run is idle and poolable again.
+func (e *engine) abortLive() {
+	e.aborting = true
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		if !nd.done {
+			nd.done = true
+			nd.next()
+		}
+	}
+}
+
+// close parks any remaining programs, returns the run's coroutines to the
+// pool, and releases the workers.
+func (e *engine) close() {
+	e.abortLive()
+	releaseCoros(e.coros)
+	for _, ch := range e.dispatch {
+		close(ch)
+	}
+}

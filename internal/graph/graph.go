@@ -197,6 +197,14 @@ func twoColor(g *Graph) ([]int8, bool) {
 	return side, true
 }
 
+// CSR exposes the raw adjacency arrays for zero-copy consumers (the
+// distributed engine's flat port tables): off has length n+1; for arc
+// a = off[v]+p, nbr[a] is v's neighbor at port p, eid[a] the undirected
+// edge id, and rev[a] the reverse port index at that neighbor. The
+// returned slices are the graph's own storage — callers must treat them
+// as read-only.
+func (g *Graph) CSR() (off, nbr, eid, rev []int32) { return g.off, g.nbr, g.eid, g.rev }
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the full benchmark suite (one iteration each) into
+# BENCH_baseline.json so future performance PRs have a trajectory.
+# Run from the repository root: ./scripts/bench_baseline.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=BENCH_baseline.json
+raw=$(go test -bench . -benchtime=1x -run '^$' . 2>&1)
+
+{
+	echo '{'
+	echo '  "recorded": "'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'",'
+	echo '  "go": "'"$(go env GOVERSION)"'",'
+	echo '  "gomaxprocs": '"$(nproc)"','
+	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
+	echo '  "note": "benchtime=1x single iterations; engine rate is the node-rounds/s metric",'
+	echo '  "benchmarks": ['
+	printf '%s\n' "$raw" | awk '
+		/^Benchmark/ {
+			name=$1; sub(/-[0-9]+$/, "", name)
+			nspop=$3
+			extra=""
+			if (NF >= 6 && $5 ~ /^[0-9.e+]+$/) extra=sprintf(", \"%s\": %s", $6, $5)
+			line=sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s%s}", name, nspop, extra)
+			lines[n++]=line
+		}
+		END {
+			for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1 ? "," : "")
+		}'
+	echo '  ]'
+	echo '}'
+} > "$out"
+
+echo "wrote $out:"
+cat "$out"
