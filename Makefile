@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench bench-engine bench-baseline clean
+.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare clean
 
 all: tier1
 
@@ -30,6 +30,11 @@ bench:
 # so future performance PRs have a trajectory to compare against.
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# bench-compare records coroutine-vs-flat backend node-rounds/s per
+# protocol into BENCH_pr2.json (set BENCHTIME=3s for stabler numbers).
+bench-compare:
+	./scripts/bench_compare.sh
 
 clean:
 	$(GO) clean ./...

@@ -44,6 +44,21 @@ type (
 	Matching = graph.Matching
 	// Stats reports rounds, messages, bits and oracle use of a run.
 	Stats = dist.Stats
+	// ExecutionBackend selects the engine backend for algorithms with a
+	// flat (state-machine) port; see WithBackend.
+	ExecutionBackend = dist.Backend
+)
+
+// The available execution backends. Auto (the default) runs the flat
+// zero-stack-switch backend wherever an algorithm has a RoundProgram port
+// (MaximalMatching, MIS, MWMQuarter) and coroutines everywhere else; the
+// two are bit-identical for equal seeds, so the choice only affects
+// throughput (flat measures 3-5x the node-rounds/s on the ported
+// protocols; see DESIGN.md §1 and BENCH_pr2.json).
+const (
+	BackendAuto      = dist.BackendAuto
+	BackendCoroutine = dist.BackendCoroutine
+	BackendFlat      = dist.BackendFlat
 )
 
 // NewBuilder returns a graph builder on n nodes.
@@ -64,6 +79,7 @@ type config struct {
 	idleStop int
 	trace    []*Matching
 	strict   int
+	backend  dist.Backend
 }
 
 // Budgeted switches from oracle-based convergence detection to the paper's
@@ -81,6 +97,14 @@ func IdleStop(n int) Option { return func(c *config) { c.idleStop = n } }
 // Trace captures per-iteration matchings from MWMHalf; the slice must have
 // core.WeightedIters(eps)+1 entries.
 func Trace(t []*Matching) Option { return func(c *config) { c.trace = t } }
+
+// WithBackend requests an execution backend for algorithms that have both
+// a blocking (coroutine) and a flat (state-machine) form. Backends are
+// bit-identical; flat measures 3-5x the node-rounds/s. Algorithms without
+// a flat port ignore the request.
+func WithBackend(b ExecutionBackend) Option {
+	return func(c *config) { c.backend = b }
+}
 
 // StrictCongest makes MCMBipartite run in strict CONGEST mode: no message
 // exceeds capacityBits bits; larger values are pipelined chunk by chunk
@@ -102,7 +126,7 @@ func buildConfig(opts []Option) config {
 // the randomized Israeli–Itai algorithm in O(log n) rounds w.h.p.
 func MaximalMatching(g *Graph, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
-	m, st := israeliitai.Run(g, seed, !c.budgeted)
+	m, st := israeliitai.RunWithConfig(g, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)
 	return Result{m, st}
 }
 
@@ -155,7 +179,7 @@ func MWMHalf(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 // weight-class black box (the Lemma 4.4 substrate; see DESIGN.md §3).
 func MWMQuarter(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
-	m, st := lpr.Run(g, eps, seed, !c.budgeted)
+	m, st := lpr.RunWithConfig(g, dist.Config{Seed: seed, Backend: c.backend}, eps, !c.budgeted)
 	return Result{m, st}
 }
 
@@ -163,7 +187,7 @@ func MWMQuarter(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 // the membership vector.
 func MIS(g *Graph, seed uint64, opts ...Option) ([]bool, *Stats) {
 	c := buildConfig(opts)
-	return mis.Run(g, seed, !c.budgeted)
+	return mis.RunWithConfig(g, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)
 }
 
 // VerifyReport is the outcome of distributed self-verification.

@@ -17,6 +17,7 @@ import (
 	"distmatch/internal/gen"
 	"distmatch/internal/israeliitai"
 	"distmatch/internal/lpr"
+	"distmatch/internal/mis"
 	"distmatch/internal/rng"
 	"distmatch/internal/stats"
 	"distmatch/internal/switchsched"
@@ -101,28 +102,90 @@ func BenchmarkAlgWeighted(b *testing.B) {
 	}
 }
 
-// BenchmarkAlgIsraeliItai measures the baseline maximal matching (n=4096).
-func BenchmarkAlgIsraeliItai(b *testing.B) {
-	g := gen.Gnm(rng.New(5), 4096, 16384)
+// benchProtocol times one protocol at a fixed backend and reports
+// node-rounds/s so the flat-vs-coroutine speedup is directly comparable
+// (scripts/bench_compare.sh records the pairs into BENCH_pr2.json).
+func benchProtocol(b *testing.B, n int, run func(seed uint64) *dist.Stats) {
+	b.Helper()
 	b.ResetTimer()
+	var rounds int64
 	for i := 0; i < b.N; i++ {
-		israeliitai.Run(g, uint64(i), true)
+		rounds += int64(run(uint64(i)).Rounds)
 	}
+	b.ReportMetric(float64(rounds)*float64(n)/b.Elapsed().Seconds(), "node-rounds/s")
 }
 
-// BenchmarkAlgLPRQuarter measures the weight-class black box (n=1024).
+func israeliItaiWorkload() *Graph { return gen.Gnm(rng.New(5), 4096, 16384) }
+
+// BenchmarkAlgIsraeliItai measures the baseline maximal matching (n=4096)
+// on the default backend (flat).
+func BenchmarkAlgIsraeliItai(b *testing.B) {
+	g := israeliItaiWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := israeliitai.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendFlat}, true)
+		return st
+	})
+}
+
+// BenchmarkAlgIsraeliItaiCoro is the same workload on the coroutine
+// backend — the flat-speedup denominator.
+func BenchmarkAlgIsraeliItaiCoro(b *testing.B) {
+	g := israeliItaiWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := israeliitai.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, true)
+		return st
+	})
+}
+
+func misWorkload() *Graph { return gen.Gnm(rng.New(13), 4096, 16384) }
+
+// BenchmarkAlgMIS measures Luby's MIS (n=4096) on the flat backend.
+func BenchmarkAlgMIS(b *testing.B) {
+	g := misWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := mis.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendFlat}, true)
+		return st
+	})
+}
+
+// BenchmarkAlgMISCoro is the same MIS workload on coroutines.
+func BenchmarkAlgMISCoro(b *testing.B) {
+	g := misWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := mis.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, true)
+		return st
+	})
+}
+
+func lprWorkload() *Graph {
+	return gen.UniformWeights(rng.New(6), gen.Gnm(rng.New(7), 1024, 4096), 1, 100)
+}
+
+// BenchmarkAlgLPRQuarter measures the weight-class black box (n=1024) on
+// the flat backend.
 func BenchmarkAlgLPRQuarter(b *testing.B) {
-	g := gen.UniformWeights(rng.New(6), gen.Gnm(rng.New(7), 1024, 4096), 1, 100)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lpr.Run(g, 0.05, uint64(i), true)
-	}
+	g := lprWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := lpr.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendFlat}, 0.05, true)
+		return st
+	})
+}
+
+// BenchmarkAlgLPRQuarterCoro is the same weight-class workload on
+// coroutines.
+func BenchmarkAlgLPRQuarterCoro(b *testing.B) {
+	g := lprWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := lpr.RunWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, 0.05, true)
+		return st
+	})
 }
 
 // ---- Substrate micro-benchmarks ----
 
-// BenchmarkEngineRound measures raw simulator round throughput: 4096 nodes
-// exchanging one signal per edge per round on a 4-regular graph.
+// BenchmarkEngineRound measures raw simulator round throughput on the
+// coroutine backend: 4096 nodes exchanging one signal per edge per round
+// on a 4-regular graph.
 func BenchmarkEngineRound(b *testing.B) {
 	g := gen.DRegular(rng.New(8), 4096, 4)
 	rounds := 64
@@ -133,6 +196,41 @@ func BenchmarkEngineRound(b *testing.B) {
 				nd.SendAll(dist.Signal{})
 				nd.Step()
 			}
+		})
+	}
+	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// flatBeacon is BenchmarkEngineRoundFlat's RoundProgram: the same
+// signal-per-edge-per-round traffic as BenchmarkEngineRound, minus the
+// two coroutine switches per node-round.
+type flatBeacon struct{ left int }
+
+func (p *flatBeacon) Init(nd *dist.Node) bool {
+	nd.SendAll(dist.Signal{})
+	p.left--
+	return true
+}
+
+func (p *flatBeacon) OnRound(nd *dist.Node, in []dist.Incoming) bool {
+	if p.left == 0 {
+		return false
+	}
+	nd.SendAll(dist.Signal{})
+	p.left--
+	return true
+}
+
+// BenchmarkEngineRoundFlat is BenchmarkEngineRound on the flat backend —
+// the tentpole number: the gap between the two is the coroutine switch
+// tax (see DESIGN.md §1).
+func BenchmarkEngineRoundFlat(b *testing.B) {
+	g := gen.DRegular(rng.New(8), 4096, 4)
+	rounds := 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.RunFlat(g, dist.Config{Seed: uint64(i)}, func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: rounds}
 		})
 	}
 	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")

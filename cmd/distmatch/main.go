@@ -36,13 +36,14 @@ func main() {
 	budget := flag.Bool("budget", false, "use the paper's fixed w.h.p. budgets instead of the convergence oracle")
 	showOpt := flag.Bool("opt", true, "also compute the exact optimum (centralized) for the ratio")
 	profile := flag.Bool("profile", false, "print a per-round traffic profile (bipartite and israeliitai only)")
+	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (israeliitai and quarter have flat state-machine ports; backends are bit-identical)")
 	flag.Parse()
 
 	g := buildGraph(*algo, *gkind, *n, *deg, *weights, *seed)
 	fmt.Printf("graph: %v\n", g)
 
 	oracle := !*budget
-	cfg := dist.Config{Seed: *seed, Profile: *profile}
+	cfg := dist.Config{Seed: *seed, Profile: *profile, Backend: parseBackend(*backend)}
 	var m *graph.Matching
 	var stats *dist.Stats
 	switch *algo {
@@ -55,7 +56,7 @@ func main() {
 	case "weighted":
 		m, stats = core.WeightedMWM(g, *eps, *seed, oracle, nil)
 	case "quarter":
-		m, stats = lpr.Run(g, *eps, *seed, oracle)
+		m, stats = lpr.RunWithConfig(g, cfg, *eps, oracle)
 	case "israeliitai":
 		m, stats = israeliitai.RunWithConfig(g, cfg, oracle)
 	default:
@@ -150,6 +151,20 @@ func buildGraph(algo, kind string, n int, deg float64, weights string, seed uint
 		os.Exit(2)
 	}
 	return g
+}
+
+func parseBackend(s string) dist.Backend {
+	switch s {
+	case "auto":
+		return dist.BackendAuto
+	case "coro", "coroutine":
+		return dist.BackendCoroutine
+	case "flat":
+		return dist.BackendFlat
+	}
+	fmt.Fprintf(os.Stderr, "unknown backend %q (want auto | coro | flat)\n", s)
+	os.Exit(2)
+	return dist.BackendAuto
 }
 
 func minf(a, b float64) float64 {

@@ -67,10 +67,11 @@ func tokenBits(n, maxDeg, ell int) int {
 
 // PhaseBudget is the fixed per-phase iteration budget used when the
 // convergence oracle is disabled: c·log₂N iterations for the conflict graph
-// size N = n·Δ^{O(ℓ)} (Lemma 3.7's w.h.p. bound).
+// size N = n·Δ^{O(ℓ)} (Lemma 3.7's w.h.p. bound), derived from the shared
+// dist.LogBudgetFrac helper (the extra +4 keeps the historical slack).
 func PhaseBudget(n, maxDeg, ell int) int {
 	logN := math.Log2(float64(n)+1) + float64(ell)*math.Log2(float64(maxDeg)+2)
-	return 4*int(math.Ceil(logN)) + 8
+	return dist.LogBudgetFrac(logN, 4) + 4
 }
 
 // bfsResult is the outcome of one counting BFS at one node.

@@ -85,9 +85,11 @@ func (m valMsg) Bits() int {
 }
 
 // GenericBudget is the fixed per-phase Luby iteration budget for budget
-// mode: O(log N) for the conflict graph size N = n^{O(ℓ)}.
+// mode: O(log N) for the conflict graph size N = n^{O(ℓ)}, derived from the
+// shared dist.LogBudgetFrac helper (the extra +8 keeps the historical
+// slack).
 func GenericBudget(n, ell int) int {
-	return 4*int(math.Ceil(float64(ell)*math.Log2(float64(n)+1))) + 12
+	return dist.LogBudgetFrac(float64(ell)*math.Log2(float64(n)+1), 4) + 8
 }
 
 // GenericMCM computes a (1−ε)-approximate maximum cardinality matching of

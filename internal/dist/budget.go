@@ -1,0 +1,24 @@
+package dist
+
+import "math"
+
+// LogBudget returns the canonical fixed iteration budget c·⌈log₂ n⌉ + c —
+// the "c·log n with one slack term" count every w.h.p.-budgeted protocol
+// in this module uses (israeliitai.Budget and mis.Budget take it directly;
+// internal/core derives its conflict-graph budgets via LogBudgetFrac).
+// Integer-exact for every n; n ≤ 1 yields c.
+func LogBudget(n, c int) int {
+	b := c
+	for p := 1; p < n; p *= 2 {
+		b += c
+	}
+	return b
+}
+
+// LogBudgetFrac is LogBudget for a network whose size N is known only
+// through a real-valued logarithm — the conflict graphs of size n·Δ^O(ℓ)
+// in internal/core, where log₂N is computed analytically rather than from
+// an integer. It returns c·⌈log2N⌉ + c.
+func LogBudgetFrac(log2N float64, c int) int {
+	return c*int(math.Ceil(log2N)) + c
+}

@@ -1,10 +1,18 @@
 // Package dist is the round-synchronous message-passing engine underneath
-// every distributed algorithm in this module. A simulation is one call to
-// Run(g, cfg, program): the engine instantiates one logical processor per
-// graph node, runs `program` on each of them in lockstep, and returns the
-// aggregate execution cost as a *Stats.
+// every distributed algorithm in this module. A simulation instantiates
+// one logical processor per graph node, runs a program on each of them in
+// lockstep, and returns the aggregate execution cost as a *Stats. There
+// are two program forms, sharing one substrate and bit-identical for
+// equivalent programs:
 //
-// # Programming model
+//   - Run(g, cfg, program) executes a blocking program func(*Node) on the
+//     coroutine backend: ordinary sequential code suspended at each round
+//     barrier.
+//   - RunFlat(g, cfg, factory) executes a RoundProgram state machine on
+//     the flat backend: an OnRound(nd, inbox) step function the workers
+//     call directly in a tight loop, with zero stack switches.
+//
+// # Programming model (blocking form)
 //
 // A node program is ordinary sequential Go code. It addresses its
 // neighbors only through local port numbers 0..Deg()-1 (the standard
@@ -31,16 +39,35 @@
 // any time; messages it sent in its final segment are still delivered, and
 // the simulation continues until every node program has returned.
 //
+// # Programming model (flat form)
+//
+// A RoundProgram is the same protocol with the call stack turned inside
+// out: per-node state lives in a struct, and the engine calls the program
+// once per round instead of the program blocking once per round. Init(nd)
+// is everything a blocking program does before its first Step; each
+// OnRound(nd, in) call is one "process inbox, compute, send" segment
+// between two barriers, returning true to continue into another round and
+// false to finish. Oracle rounds split StepOr/StepMax into halves:
+// SubmitOr/SubmitMax before returning marks the ending round, and
+// GlobalOr/GlobalMax read the aggregate at the start of the next OnRound.
+// Send/SendAll and all geometry accessors work identically; the blocking
+// Step primitives panic (there is no stack to park).
+//
+// Use the flat form for hot protocols whose per-round logic is a pure
+// function of (state, inbox) — Israeli–Itai, Luby's MIS and the LPR
+// weight classes all have RoundProgram ports, selected via
+// Config.Backend (bit-identical to their blocking forms, roughly 3-5x
+// the node-rounds/s; see DESIGN.md §1 for measurements). Keep the
+// blocking form for programs that compose sub-protocols with complex
+// control flow (internal/core's phases) or that are written once and run
+// rarely — it is the more natural notation, and still fast.
+//
 // # Execution model
 //
-// The engine is built for throughput (BenchmarkEngineRound tracks it in
-// node-rounds/s):
+// The engine is built for throughput (BenchmarkEngineRound and
+// BenchmarkEngineRoundFlat track the two backends in node-rounds/s).
+// The substrate is shared:
 //
-//   - Node programs run as coroutine-style goroutines (iter.Pull) parked
-//     on a custom round barrier. Resuming a parked node is a direct stack
-//     switch (runtime.coroswitch underneath), not a trip through the
-//     scheduler's run queue; the coroutines themselves are pooled across
-//     runs, so a Run's setup does not respawn a goroutine per node.
 //   - Mailboxes are flat and CSR-indexed: one slot per directed arc,
 //     double-buffered. Send writes straight into the receiver's slot of
 //     the back buffer (each arc has exactly one writer, so there is no
@@ -48,14 +75,22 @@
 //     Steady-state rounds allocate nothing, and the port tables are
 //     cached per graph across runs.
 //   - A worker pool (Config.Workers, default GOMAXPROCS) owns contiguous
-//     node chunks; workers resume their nodes one stack switch at a time
-//     while the nodes fold the reductions (global OR/max, traffic
-//     accounting) into chunk-local accumulators, and the engine combines
-//     the per-chunk partials at the barrier.
+//     node chunks; workers advance their nodes one at a time while the
+//     nodes fold the reductions (global OR/max, traffic accounting) into
+//     chunk-local accumulators, and the engine combines the per-chunk
+//     partials at the barrier.
 //   - Every node draws randomness from its own deterministic stream,
 //     forked from Config.Seed by node id (rng.ForkSeed). Together with
 //     fixed mailbox slots and associative-commutative reductions this
-//     makes runs bit-identical regardless of worker count or scheduling.
+//     makes runs bit-identical regardless of worker count, scheduling or
+//     backend.
+//
+// The backends differ only in how a worker advances a node: the coroutine
+// backend resumes a parked goroutine-stack (iter.Pull, a
+// runtime.coroswitch pair per node-round, pooled across runs), while the
+// flat backend makes one interface call into the node's RoundProgram —
+// which is why it clears the switch-pair ceiling described in DESIGN.md
+// §1.
 //
 // See DESIGN.md §1 for measured round-rate numbers and the scaling model.
 //

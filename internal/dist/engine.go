@@ -11,6 +11,45 @@ import (
 	"distmatch/internal/rng"
 )
 
+// Backend selects which execution backend an algorithm should run on.
+// The engine itself has two entry points with fixed backends — Run executes
+// blocking programs on coroutines, RunFlat executes RoundProgram state
+// machines with zero stack switches — so Backend is a *request* interpreted
+// by the algorithm packages that implement both forms (internal/israeliitai,
+// internal/mis, internal/lpr). Algorithms with only a blocking form ignore
+// it.
+type Backend uint8
+
+const (
+	// BackendAuto picks the flat backend whenever the algorithm has a
+	// RoundProgram port (it is bit-identical at 3-5x the node-rounds/s on
+	// the ported protocols; see DESIGN.md §1 and BENCH_pr2.json), falling
+	// back to coroutines otherwise. The zero value, so it is the default
+	// of a zero Config.
+	BackendAuto Backend = iota
+	// BackendCoroutine forces the blocking-program coroutine backend.
+	BackendCoroutine
+	// BackendFlat forces the RoundProgram backend; algorithms without a
+	// flat port still run on coroutines (the request is best-effort).
+	BackendFlat
+)
+
+// UseFlat reports whether an algorithm that has a RoundProgram port should
+// take it under this setting.
+func (b Backend) UseFlat() bool { return b != BackendCoroutine }
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendCoroutine:
+		return "coroutine"
+	case BackendFlat:
+		return "flat"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
 // Config configures one Run.
 type Config struct {
 	// Seed is the root of all randomness: node v draws from the stream
@@ -25,6 +64,10 @@ type Config struct {
 	// MaxRounds aborts (panics) a run that exceeds this many rounds —
 	// a guard against protocols that fail to converge. 0 means no limit.
 	MaxRounds int
+	// Backend requests an execution backend from algorithm packages that
+	// implement both program forms; see Backend. Both backends are
+	// bit-identical, so this only affects throughput.
+	Backend Backend
 }
 
 // abortPanic unwinds a node program when the engine cancels the run; the
@@ -44,13 +87,16 @@ type Node struct {
 	deg  int32
 	base int32 // first directed-arc index in the engine's flat port tables
 
-	done bool // program returned (or was unwound); never resume again
+	done    bool // program returned (or was unwound); never step again
+	started bool // flat backend: Init already ran
 
 	eng *engine
 	wk  *worker // owning chunk worker; parked while the program runs
 
 	// Coroutine handles (see coro.go): next resumes the program, yield
 	// parks it. One word each; stop is cold and lives in the engine.
+	// Both are nil on the flat backend, where the worker calls the node's
+	// RoundProgram directly.
 	next func() (struct{}, bool)
 	// yield parks the node program at a round barrier (see park).
 	yield func(struct{}) bool
@@ -172,6 +218,9 @@ func (nd *Node) StepMax(local float64) ([]Incoming, float64) {
 // park suspends the node program until the engine finishes the round. The
 // suspension is a coroutine switch back into the owning worker.
 func (nd *Node) park() {
+	if nd.yield == nil {
+		panic("dist: blocking Step primitives require the coroutine backend; a RoundProgram must return from OnRound instead")
+	}
 	nd.yield(struct{}{})
 	if nd.eng.aborting {
 		// The engine cancelled the run; unwind the program (recovered
@@ -302,8 +351,9 @@ type engine struct {
 	inSlab []Incoming
 
 	nodes []Node
-	rnds  []rng.Rand    // per-node streams, indexed by id
-	coros []*pooledCoro // adopted coroutines, indexed by id (cold)
+	rnds  []rng.Rand     // per-node streams, indexed by id
+	coros []*pooledCoro  // adopted coroutines, indexed by id (cold, coroutine backend)
+	progs []RoundProgram // per-node state machines (flat backend; nil ⇒ coroutine)
 
 	// aborting makes every subsequent park unwind its program; set (only)
 	// before the abortLive sweep.
@@ -351,12 +401,22 @@ func (w *worker) notePanic(id int, v any) {
 	}
 }
 
-// runRound resumes every live node of the chunk once. All bookkeeping is
-// node-side; the sweep itself is just the coroutine switches.
+// runRound advances every live node of the chunk by one round, on whichever
+// backend the engine was launched with.
 func (w *worker) runRound() {
 	w.parked, w.done, w.orCnt, w.maxCnt = 0, 0, 0, 0
 	w.or, w.max = false, math.Inf(-1)
 	w.msgs, w.bits, w.maxBits = 0, 0, 0
+	if w.e.progs != nil {
+		w.flatSweep()
+		return
+	}
+	w.coroSweep()
+}
+
+// coroSweep resumes every live node program of the chunk once. All
+// bookkeeping is node-side; the sweep itself is just the coroutine switches.
+func (w *worker) coroSweep() {
 	nodes := w.e.nodes
 	for i := w.lo; i < w.hi; i++ {
 		nd := &nodes[i]
@@ -375,7 +435,9 @@ func (w *worker) runRound() {
 // Run simulates program on every node of g in synchronous rounds and
 // returns the aggregate cost. It returns once every node program has; a
 // panic inside any node program aborts the run and re-panics with the
-// same value in the caller's goroutine.
+// same value in the caller's goroutine. Run always executes on the
+// coroutine backend (a blocking program needs a suspendable stack); see
+// RunFlat for the stack-switch-free alternative.
 func Run(g *graph.Graph, cfg Config, program func(*Node)) *Stats {
 	e := newEngine(g, cfg)
 	if e.n != 0 {
@@ -545,12 +607,20 @@ func (e *engine) combine() worker {
 	return agg
 }
 
-// abortLive unwinds every still-parked node program: with aborting set,
-// each resumed park panics an abortPanic, which runProgram recovers, and
-// the coroutine drops back to its idle loop. Afterwards every coroutine of
-// the run is idle and poolable again.
+// abortLive cancels every still-running node program. On the coroutine
+// backend that means unwinding: with aborting set, each resumed park panics
+// an abortPanic, which runProgram recovers, and the coroutine drops back to
+// its idle loop — afterwards every coroutine of the run is idle and
+// poolable again. On the flat backend there is no suspended stack to
+// unwind; marking the nodes done is the whole job.
 func (e *engine) abortLive() {
 	e.aborting = true
+	if e.progs != nil {
+		for i := range e.nodes {
+			e.nodes[i].done = true
+		}
+		return
+	}
 	for i := range e.nodes {
 		nd := &e.nodes[i]
 		if !nd.done {
@@ -560,8 +630,8 @@ func (e *engine) abortLive() {
 	}
 }
 
-// close parks any remaining programs, returns the run's coroutines to the
-// pool, and releases the workers.
+// close cancels any remaining programs, returns the run's coroutines to
+// the pool (coroutine backend only), and releases the workers.
 func (e *engine) close() {
 	e.abortLive()
 	releaseCoros(e.coros)

@@ -1,0 +1,140 @@
+package dist
+
+import "distmatch/internal/graph"
+
+// This file is the flat execution backend: node programs phrased as
+// RoundProgram state machines that the chunk workers step with a plain
+// interface call per node-round — no coroutine, no suspended stack, no
+// runtime.coroswitch. It shares everything else (CSR mailboxes, worker
+// chunks, reductions, RNG streams, Stats accounting) with the coroutine
+// backend in engine.go/coro.go; the two are bit-identical for equivalent
+// programs (see the differential tests in internal/israeliitai,
+// internal/mis and internal/lpr) and differ only in throughput.
+
+// RoundProgram is a node program in state-machine form: the per-round
+// logic as a pure function of (state, inbox) instead of a blocking thread
+// of control. The engine calls Init once in round 0 and OnRound once per
+// subsequent round, always from the node's owning worker, so a method body
+// has the same exclusive access to its Node as a blocking program segment.
+//
+// The correspondence with the blocking model is segment-by-segment: Init
+// is everything a blocking program does before its first Step, and each
+// OnRound call is one "process the inbox, compute, send" segment between
+// two barriers. Returning true parks the node at the round barrier
+// (a blocking Step); returning false ends the program (a blocking return —
+// sends made in that final call are still delivered). The in slice obeys
+// the same aliasing rule as Step's return value: it is only valid until
+// the node's next OnRound.
+//
+// Oracle rounds split the blocking StepOr/StepMax into their two halves:
+// calling Node.SubmitOr/SubmitMax (at most one, once) before returning
+// true marks the ending round as an oracle round, and the global result is
+// read with Node.GlobalOr/GlobalMax at the start of the next OnRound.
+// The lockstep rule is unchanged: a round in which some continuing nodes
+// submit and others don't is a desync and panics.
+//
+// The blocking primitives Step/StepOr/StepMax must not be called from a
+// RoundProgram (there is no stack to park); doing so panics.
+type RoundProgram interface {
+	// Init runs the program's first segment (round 0): it may Send and
+	// may Submit. It reports whether the node continues into round 1.
+	Init(nd *Node) (again bool)
+	// OnRound consumes the messages delivered by the round that just
+	// ended and runs the next segment. It reports whether the node
+	// continues into another round.
+	OnRound(nd *Node, in []Incoming) (again bool)
+}
+
+// RunFlat simulates one RoundProgram per node of g in synchronous rounds
+// on the flat backend and returns the aggregate cost — the stack-switch-
+// free counterpart of Run. factory is called once per node, in increasing
+// id order before round 0, and should only allocate the machine and read
+// node geometry (ID/Deg/N/ports); sends and RNG draws belong in Init.
+// Panics inside Init/OnRound abort the run and re-panic in the caller,
+// like Run.
+func RunFlat(g *graph.Graph, cfg Config, factory func(nd *Node) RoundProgram) *Stats {
+	e := newEngine(g, cfg)
+	if e.n != 0 {
+		e.progs = make([]RoundProgram, e.n)
+		for i := range e.nodes {
+			e.progs[i] = factory(&e.nodes[i])
+		}
+		defer e.close()
+		e.loop()
+	}
+	st := e.stats
+	return &st
+}
+
+// SubmitOr submits this node's value to a global-OR oracle round — the
+// flat-backend half of StepOr that ends the current OnRound segment. The
+// result is available from GlobalOr in the next OnRound. Flat backend
+// only; at most one Submit per segment.
+func (nd *Node) SubmitOr(local bool) {
+	w := nd.wk
+	w.orCnt++
+	w.or = w.or || local
+}
+
+// SubmitMax submits this node's value to a global-max oracle round (the
+// flat-backend half of StepMax; identity -Inf). The result is available
+// from GlobalMax in the next OnRound.
+func (nd *Node) SubmitMax(local float64) {
+	w := nd.wk
+	w.maxCnt++
+	if local > w.max {
+		w.max = local
+	}
+}
+
+// GlobalOr returns the global OR aggregated at the last SubmitOr barrier.
+func (nd *Node) GlobalOr() bool { return nd.eng.orGlobal }
+
+// GlobalMax returns the global max aggregated at the last SubmitMax
+// barrier.
+func (nd *Node) GlobalMax() float64 { return nd.eng.maxGlobal }
+
+// flatSweep steps every live RoundProgram of the chunk once: round 0 runs
+// Init, later rounds drain the node's mailbox and run OnRound. This is
+// the loop that replaces the coroutine backend's two stack switches per
+// node-round with one interface call.
+//
+// Panic handling is chunk-scoped rather than per-node (a deferred recover
+// per step would tax the hot loop): the first panicking node aborts the
+// rest of its chunk's sweep, which is safe because the engine aborts the
+// whole run as soon as any worker reports a panic. Lowest-id-wins is
+// preserved — the sweep runs in increasing id order, so the first panic in
+// a chunk is the chunk's lowest, and combine takes the minimum across
+// workers.
+func (w *worker) flatSweep() {
+	e := w.e
+	nodes := e.nodes
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			nodes[cur].done = true
+			w.done++
+			w.notePanic(cur, r)
+		}
+	}()
+	for i := w.lo; i < w.hi; i++ {
+		nd := &nodes[i]
+		if nd.done {
+			continue
+		}
+		cur = int(i)
+		var again bool
+		if nd.started {
+			again = e.progs[i].OnRound(nd, nd.collect())
+		} else {
+			nd.started = true
+			again = e.progs[i].Init(nd)
+		}
+		if again {
+			w.parked++
+		} else {
+			nd.done = true
+			w.done++
+		}
+	}
+}

@@ -40,14 +40,8 @@ func NewState(nd *dist.Node) *State {
 }
 
 // Budget returns the default fixed iteration budget giving maximality with
-// high probability: c·⌈log₂ n⌉ with c = 8.
-func Budget(n int) int {
-	b := 8
-	for p := 1; p < n; p *= 2 {
-		b += 8
-	}
-	return b
-}
+// high probability: dist.LogBudget(n, 8), i.e. 8·⌈log₂ n⌉ + 8.
+func Budget(n int) int { return dist.LogBudget(n, 8) }
 
 type proposal struct{ dist.Signal }
 type accept struct{ dist.Signal }
@@ -161,24 +155,25 @@ func Run(g *graph.Graph, seed uint64, oracle bool) (*graph.Matching, *dist.Stats
 // the paper's introduction cites: on trees (and other sparse graphs) a
 // constant budget already yields a (½−ε)-approximate MCM (experiment E12).
 func RunBudget(g *graph.Graph, seed uint64, iters int) (*graph.Matching, *dist.Stats) {
-	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
-		st := NewState(nd)
-		st.RunClass(nd, func(int) bool { return true }, iters, false)
-		matchedEdge[nd.ID()] = -1
-		if st.MatchedPort >= 0 {
-			matchedEdge[nd.ID()] = int32(nd.EdgeID(st.MatchedPort))
-		}
-	})
-	return graph.CollectMatching(g, matchedEdge), stats
+	return runBackend(g, dist.Config{Seed: seed}, iters, false)
 }
 
-// RunWithConfig is Run with full engine configuration (profiling, limits).
+// RunWithConfig is Run with full engine configuration (profiling, limits,
+// backend selection — cfg.Backend picks between the bit-identical
+// coroutine and flat executions; auto means flat).
 func RunWithConfig(g *graph.Graph, cfg dist.Config, oracle bool) (*graph.Matching, *dist.Stats) {
+	return runBackend(g, cfg, Budget(g.N()), oracle)
+}
+
+// runBackend dispatches one protocol run to the backend cfg requests.
+func runBackend(g *graph.Graph, cfg dist.Config, iters int, oracle bool) (*graph.Matching, *dist.Stats) {
+	if cfg.Backend.UseFlat() {
+		return runFlat(g, cfg, iters, oracle)
+	}
 	matchedEdge := make([]int32, g.N())
 	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		st := NewState(nd)
-		st.RunClass(nd, func(int) bool { return true }, Budget(nd.N()), oracle)
+		st.RunClass(nd, func(int) bool { return true }, iters, oracle)
 		if st.MatchedPort >= 0 {
 			matchedEdge[nd.ID()] = int32(nd.EdgeID(st.MatchedPort))
 		} else {

@@ -1,0 +1,113 @@
+package lpr
+
+// Flat-backend (dist.RoundProgram) form of the weight-class protocol — a
+// segment-for-segment transliteration of RunLocal/RunLocalWeights:
+// one StepMax-equivalent barrier for the global maximum weight, then one
+// israeliitai.ClassMachine per weight class, heaviest to lightest, over a
+// single shared israeliitai.State. Bit-identical to the coroutine form
+// (TestFlatMatchesCoroutine); keep the two in lockstep when changing
+// either.
+
+import (
+	"math"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/graph"
+	"distmatch/internal/israeliitai"
+)
+
+type machine struct {
+	eps         float64
+	oracle      bool
+	matchedEdge []int32
+
+	// Class geometry, computed once the global max W is known.
+	nClasses int
+	class    []int
+	c        int // current class, valid while inClass
+
+	inClass bool // false ⇒ parked on the W aggregation round
+	st      *israeliitai.State
+	cm      israeliitai.ClassMachine
+}
+
+func (m *machine) Init(nd *dist.Node) bool {
+	localMax := math.Inf(-1)
+	for p := 0; p < nd.Deg(); p++ {
+		if w := nd.EdgeWeight(p); w > localMax {
+			localMax = w
+		}
+	}
+	nd.SubmitMax(localMax)
+	return true
+}
+
+func (m *machine) finish(nd *dist.Node) bool {
+	m.matchedEdge[nd.ID()] = -1
+	if m.st != nil {
+		if p := m.st.MatchedPort; p >= 0 {
+			m.matchedEdge[nd.ID()] = int32(nd.EdgeID(p))
+		}
+	}
+	return false
+}
+
+func (m *machine) OnRound(nd *dist.Node, in []dist.Incoming) bool {
+	if !m.inClass {
+		W := nd.GlobalMax()
+		if W <= 0 {
+			// No positive edge anywhere; everyone agrees to stop.
+			return m.finish(nd)
+		}
+		m.nClasses = Classes(nd.N(), m.eps)
+		m.class = make([]int, nd.Deg())
+		for p := range m.class {
+			m.class[p] = -1
+			if w := nd.EdgeWeight(p); w > 0 {
+				c := int(math.Floor(math.Log2(W / w)))
+				if c < 0 {
+					c = 0 // guard: w == W exactly, or FP jitter
+				}
+				if c < m.nClasses {
+					m.class[p] = c
+				}
+			}
+		}
+		m.st = israeliitai.NewState(nd)
+		m.inClass = true
+		m.c = 0
+		return m.startClasses(nd)
+	}
+	if m.cm.OnRound(nd, in) {
+		m.c++
+		return m.startClasses(nd)
+	}
+	return true
+}
+
+// startClasses arms and starts class machines from m.c onward until one
+// reaches a barrier (they all do for positive budgets); when every class
+// has run, the program ends.
+func (m *machine) startClasses(nd *dist.Node) bool {
+	budget := israeliitai.Budget(nd.N())
+	eligible := func(p int) bool { return m.class[p] == m.c }
+	for m.c < m.nClasses {
+		m.cm.Reset(m.st, eligible, budget, m.oracle)
+		if !m.cm.Start(nd) {
+			return true
+		}
+		m.c++
+	}
+	return m.finish(nd)
+}
+
+// runFlat is the flat-backend implementation behind Run/RunWithConfig.
+// Unlike RunLocal it is not embeddable in a larger blocking program —
+// internal/core composes the blocking RunLocalWeights instead.
+func runFlat(g *graph.Graph, cfg dist.Config, eps float64, oracle bool) (*graph.Matching, *dist.Stats) {
+	matchedEdge := make([]int32, g.N())
+	stats := dist.RunFlat(g, cfg, func(nd *dist.Node) dist.RoundProgram {
+		return &machine{eps: eps, oracle: oracle, matchedEdge: matchedEdge}
+	})
+	return graph.CollectMatching(g, matchedEdge), stats
+}

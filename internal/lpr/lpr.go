@@ -43,8 +43,20 @@ func Guarantee(eps float64) float64 { return 0.25 - eps }
 // runs to guaranteed maximality; otherwise each class runs the fixed
 // Israeli–Itai budget.
 func Run(g *graph.Graph, eps float64, seed uint64, oracle bool) (*graph.Matching, *dist.Stats) {
+	return RunWithConfig(g, dist.Config{Seed: seed}, eps, oracle)
+}
+
+// RunWithConfig is Run with full engine configuration; cfg.Backend picks
+// between the bit-identical coroutine and flat executions (auto = flat).
+func RunWithConfig(g *graph.Graph, cfg dist.Config, eps float64, oracle bool) (*graph.Matching, *dist.Stats) {
+	if eps <= 0 || eps >= 1 {
+		panic("lpr: need 0 < eps < 1")
+	}
+	if cfg.Backend.UseFlat() {
+		return runFlat(g, cfg, eps, oracle)
+	}
 	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		matchedEdge[nd.ID()] = int32(RunLocal(nd, eps, oracle))
 	})
 	return graph.CollectMatching(g, matchedEdge), stats

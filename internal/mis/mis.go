@@ -36,22 +36,26 @@ func (p priority) beats(q priority) bool {
 type joined struct{ dist.Signal }
 type retired struct{ dist.Signal }
 
-// Budget is the default fixed iteration budget (w.h.p. sufficient).
-func Budget(n int) int {
-	b := 8
-	for p := 1; p < n; p *= 2 {
-		b += 8
-	}
-	return b
-}
+// Budget is the default fixed iteration budget (w.h.p. sufficient):
+// dist.LogBudget(n, 8), the same 8·⌈log₂ n⌉ + 8 count Israeli–Itai uses.
+func Budget(n int) int { return dist.LogBudget(n, 8) }
 
 // Run computes a maximal independent set of g distributively and returns
 // the membership vector. With oracle=true it terminates via the global-OR
 // primitive with a guaranteed-maximal result; otherwise it runs the fixed
 // Budget(n) iteration count (maximal w.h.p.).
 func Run(g *graph.Graph, seed uint64, oracle bool) ([]bool, *dist.Stats) {
+	return RunWithConfig(g, dist.Config{Seed: seed}, oracle)
+}
+
+// RunWithConfig is Run with full engine configuration; cfg.Backend picks
+// between the bit-identical coroutine and flat executions (auto = flat).
+func RunWithConfig(g *graph.Graph, cfg dist.Config, oracle bool) ([]bool, *dist.Stats) {
+	if cfg.Backend.UseFlat() {
+		return runFlat(g, cfg, oracle)
+	}
 	inMIS := make([]bool, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		r := nd.Rand()
 		active := true
 		nbrActive := make([]bool, nd.Deg())

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Records the coroutine-vs-flat backend comparison into BENCH_pr2.json:
+# node-rounds/s per protocol per backend plus the flat/coro speedup —
+# extending the BENCH trajectory started by BENCH_baseline.json.
+# Run from the repository root: ./scripts/bench_compare.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out=BENCH_pr2.json
+benchtime=${BENCHTIME:-1s}
+
+raw=$(go test -run '^$' -benchtime "$benchtime" \
+	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro)$' \
+	. 2>&1)
+
+{
+	echo '{'
+	echo '  "recorded": "'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'",'
+	echo '  "go": "'"$(go env GOVERSION)"'",'
+	echo '  "gomaxprocs": '"$(nproc)"','
+	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
+	echo '  "benchtime": "'"$benchtime"'",'
+	echo '  "metric": "node-rounds/s",'
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs, see differential tests",'
+	echo '  "pairs": ['
+	printf '%s\n' "$raw" | awk '
+		/^Benchmark/ {
+			name=$1; sub(/-[0-9]+$/, "", name)
+			# node-rounds/s is the extra metric column: value unit
+			rate=0
+			for (i=2; i<NF; i++) if ($(i+1) == "node-rounds/s") rate=$i
+			rates[name]=rate
+		}
+		END {
+			n=0
+			pairs["EngineRound"]      = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
+			pairs["IsraeliItai"]      = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
+			pairs["MIS"]              = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
+			pairs["LPRQuarter"]       = "BenchmarkAlgLPRQuarterCoro BenchmarkAlgLPRQuarter"
+			order[1]="EngineRound"; order[2]="IsraeliItai"; order[3]="MIS"; order[4]="LPRQuarter"
+			for (k=1; k<=4; k++) {
+				p=order[k]
+				split(pairs[p], b, " ")
+				coro=rates[b[1]]+0; flat=rates[b[2]]+0
+				speedup = (coro > 0) ? flat/coro : 0
+				line=sprintf("    {\"name\": \"%s\", \"coro\": %.0f, \"flat\": %.0f, \"speedup\": %.2f}", p, coro, flat, speedup)
+				lines[n++]=line
+			}
+			for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1 ? "," : "")
+		}'
+	echo '  ]'
+	echo '}'
+} > "$out"
+
+echo "wrote $out:"
+cat "$out"
