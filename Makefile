@@ -32,7 +32,9 @@ bench-baseline:
 	./scripts/bench_baseline.sh
 
 # bench-compare records coroutine-vs-flat backend node-rounds/s per
-# protocol into BENCH_pr2.json (set BENCHTIME=3s for stabler numbers).
+# protocol — including the core Algorithm 3-5 pipeline — plus the
+# Config.Workers scaling sweep and the batch-runner amortization pair
+# into BENCH_pr3.json (set BENCHTIME=3s for stabler numbers).
 bench-compare:
 	./scripts/bench_compare.sh
 

@@ -51,10 +51,13 @@ type (
 
 // The available execution backends. Auto (the default) runs the flat
 // zero-stack-switch backend wherever an algorithm has a RoundProgram port
-// (MaximalMatching, MIS, MWMQuarter) and coroutines everywhere else; the
-// two are bit-identical for equal seeds, so the choice only affects
-// throughput (flat measures 3-5x the node-rounds/s on the ported
-// protocols; see DESIGN.md §1 and BENCH_pr2.json).
+// (MaximalMatching, MIS, MWMQuarter, MCMBipartite, MCMGeneral, MWMHalf)
+// and coroutines everywhere else; the two are bit-identical for equal
+// seeds, so the choice only affects throughput (flat measures 3-13x the
+// node-rounds/s on the ported protocols; see DESIGN.md §1, BENCH_pr2.json
+// and BENCH_pr3.json). Strict-CONGEST execution (StrictCongest /
+// MCMGeneral with StrictCapacityBits) has no flat port yet and always
+// runs on coroutines.
 const (
 	BackendAuto      = dist.BackendAuto
 	BackendCoroutine = dist.BackendCoroutine
@@ -149,7 +152,7 @@ func MCMBipartite(g *Graph, k int, seed uint64, opts ...Option) Result {
 		m, st := core.BipartiteMCMStrict(g, k, seed, c.strict, !c.budgeted)
 		return Result{m, st}
 	}
-	m, st := core.BipartiteMCM(g, k, seed, !c.budgeted)
+	m, st := core.BipartiteMCMWithConfig(g, k, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)
 	return Result{m, st}
 }
 
@@ -158,7 +161,7 @@ func MCMBipartite(g *Graph, k int, seed uint64, opts ...Option) Result {
 // repeated random bipartite sampling. k must exceed 2.
 func MCMGeneral(g *Graph, k int, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
-	m, st := core.GeneralMCM(g, k, seed, core.GeneralOptions{
+	m, st := core.GeneralMCMWithConfig(g, k, dist.Config{Seed: seed, Backend: c.backend}, core.GeneralOptions{
 		Iters:    c.iters,
 		IdleStop: c.idleStop,
 		Oracle:   !c.budgeted,
@@ -171,7 +174,7 @@ func MCMGeneral(g *Graph, k int, seed uint64, opts ...Option) Result {
 // on the wrap-gain weights w_M.
 func MWMHalf(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
-	m, st := core.WeightedMWM(g, eps, seed, !c.budgeted, c.trace)
+	m, st := core.WeightedMWMWithConfig(g, dist.Config{Seed: seed, Backend: c.backend}, eps, !c.budgeted, c.trace)
 	return Result{m, st}
 }
 

@@ -7,6 +7,7 @@ package distmatch
 // so performance regressions in the simulator itself are visible.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -181,6 +182,157 @@ func BenchmarkAlgLPRQuarterCoro(b *testing.B) {
 	})
 }
 
+// ---- Core pipeline pairs (PR-3): the paper's headline algorithms on
+// both backends, node-rounds/s for the speedup table in BENCH_pr3.json ----
+
+func bipartitePairWorkload() *Graph { return bipartiteWorkload(1, 512) }
+
+// BenchmarkAlgBipartiteMCM measures Algorithm 3 (k=3, n=1024, oracle) on
+// the flat backend.
+func BenchmarkAlgBipartiteMCM(b *testing.B) {
+	g := bipartitePairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.BipartiteMCMWithConfig(g, 3, dist.Config{Seed: seed, Backend: dist.BackendFlat}, true)
+		return st
+	})
+}
+
+// BenchmarkAlgBipartiteMCMCoro is the same workload on coroutines.
+func BenchmarkAlgBipartiteMCMCoro(b *testing.B) {
+	g := bipartitePairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.BipartiteMCMWithConfig(g, 3, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, true)
+		return st
+	})
+}
+
+func generalPairWorkload() *Graph { return gen.Gnp(rng.New(2), 256, 3.0/256) }
+
+var generalPairOpts = core.GeneralOptions{Oracle: true, IdleStop: 30}
+
+// BenchmarkAlgGeneralMCM measures Algorithm 4 (k=3, n=256) on the flat
+// backend.
+func BenchmarkAlgGeneralMCM(b *testing.B) {
+	g := generalPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.GeneralMCMWithConfig(g, 3, dist.Config{Seed: seed, Backend: dist.BackendFlat}, generalPairOpts)
+		return st
+	})
+}
+
+// BenchmarkAlgGeneralMCMCoro is the same workload on coroutines.
+func BenchmarkAlgGeneralMCMCoro(b *testing.B) {
+	g := generalPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.GeneralMCMWithConfig(g, 3, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, generalPairOpts)
+		return st
+	})
+}
+
+func weightedPairWorkload() *Graph {
+	return gen.UniformWeights(rng.New(3), gen.Gnm(rng.New(4), 256, 1024), 1, 100)
+}
+
+// BenchmarkAlgWeightedMWM measures Algorithm 5 (ε=0.25, n=256) on the
+// flat backend.
+func BenchmarkAlgWeightedMWM(b *testing.B) {
+	g := weightedPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.WeightedMWMWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendFlat}, 0.25, true, nil)
+		return st
+	})
+}
+
+// BenchmarkAlgWeightedMWMCoro is the same workload on coroutines.
+func BenchmarkAlgWeightedMWMCoro(b *testing.B) {
+	g := weightedPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.WeightedMWMWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, 0.25, true, nil)
+		return st
+	})
+}
+
+func greedyPairWorkload() *Graph { return gen.AdversarialChain(512) }
+
+// BenchmarkAlgLocalGreedy measures the locally-heaviest-edge protocol on
+// its Θ(n)-round pathology (the E7 chain, n=512) on the flat backend —
+// the workload where node-rounds/s matters most.
+func BenchmarkAlgLocalGreedy(b *testing.B) {
+	g := greedyPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := lpr.LocalGreedyWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendFlat}, 0, true)
+		return st
+	})
+}
+
+// BenchmarkAlgLocalGreedyCoro is the same pathology on coroutines.
+func BenchmarkAlgLocalGreedyCoro(b *testing.B) {
+	g := greedyPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := lpr.LocalGreedyWithConfig(g, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, 0, true)
+		return st
+	})
+}
+
+// ---- Batch-runner amortization: short runs where setup dominates ----
+
+func shortRunWorkload() *Graph { return gen.Gnm(rng.New(21), 256, 1024) }
+
+// BenchmarkRunnerFresh runs a short Israeli–Itai budget sweep with a
+// fresh engine per seed — the per-run setup cost the batch runner
+// removes.
+func BenchmarkRunnerFresh(b *testing.B) {
+	g := shortRunWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		israeliitai.RunWithConfig(g, dist.Config{Seed: uint64(i)}, false)
+	}
+}
+
+// BenchmarkRunnerReuse is the same sweep through one dist.Runner
+// (israeliitai.RunSeeds): engine slabs, dest tables and machines are
+// reused across seeds.
+func BenchmarkRunnerReuse(b *testing.B) {
+	g := shortRunWorkload()
+	const batch = 16
+	seeds := make([]uint64, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range seeds {
+			seeds[j] = uint64(i + j)
+		}
+		israeliitai.RunSeeds(g, dist.Config{}, seeds, false)
+	}
+}
+
+// BenchmarkRunnerShortFresh isolates the engine-setup share of a truly
+// short run: an 8-round flat beacon on 256 nodes, fresh engine per run.
+func BenchmarkRunnerShortFresh(b *testing.B) {
+	g := gen.DRegular(rng.New(22), 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.RunFlat(g, dist.Config{Seed: uint64(i)}, func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: 8}
+		})
+	}
+	b.ReportMetric(float64(8*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// BenchmarkRunnerShortReuse is the same short run through one
+// dist.Runner: slabs, dest tables and the worker pool stay warm.
+func BenchmarkRunnerShortReuse(b *testing.B) {
+	g := gen.DRegular(rng.New(22), 256, 4)
+	r := dist.NewRunner(g, dist.Config{})
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunFlat(uint64(i), func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: 8}
+		})
+	}
+	b.ReportMetric(float64(8*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkEngineRound measures raw simulator round throughput on the
@@ -234,6 +386,49 @@ func BenchmarkEngineRoundFlat(b *testing.B) {
 		})
 	}
 	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// engineRoundWorkload is the shared 4096-node 4-regular beacon the
+// worker-scaling sweep reuses.
+func engineRoundWorkload() *Graph { return gen.DRegular(rng.New(8), 4096, 4) }
+
+// BenchmarkEngineRoundWorkers sweeps Config.Workers on the coroutine
+// backend — the multi-core scaling study's denominator. On hardware with
+// fewer cores than workers the extra workers measure pure
+// barrier/dispatch overhead, which is exactly the knee being located
+// (see DESIGN.md §1).
+func BenchmarkEngineRoundWorkers(b *testing.B) {
+	g := engineRoundWorkload()
+	rounds := 64
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist.Run(g, dist.Config{Seed: uint64(i), Workers: w}, func(nd *dist.Node) {
+					for r := 0; r < rounds; r++ {
+						nd.SendAll(dist.Signal{})
+						nd.Step()
+					}
+				})
+			}
+			b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+		})
+	}
+}
+
+// BenchmarkEngineRoundFlatWorkers is the same sweep on the flat backend.
+func BenchmarkEngineRoundFlatWorkers(b *testing.B) {
+	g := engineRoundWorkload()
+	rounds := 64
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist.RunFlat(g, dist.Config{Seed: uint64(i), Workers: w}, func(*dist.Node) dist.RoundProgram {
+					return &flatBeacon{left: rounds}
+				})
+			}
+			b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+		})
+	}
 }
 
 // BenchmarkExactHopcroftKarp measures the bipartite reference (n=4096).

@@ -35,8 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed (identical seeds replay runs)")
 	budget := flag.Bool("budget", false, "use the paper's fixed w.h.p. budgets instead of the convergence oracle")
 	showOpt := flag.Bool("opt", true, "also compute the exact optimum (centralized) for the ratio")
-	profile := flag.Bool("profile", false, "print a per-round traffic profile (bipartite and israeliitai only)")
-	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (israeliitai and quarter have flat state-machine ports; backends are bit-identical)")
+	profile := flag.Bool("profile", false, "print a per-round traffic profile (all algorithms except generic)")
+	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (every algorithm except generic has a flat state-machine port; backends are bit-identical)")
 	flag.Parse()
 
 	g := buildGraph(*algo, *gkind, *n, *deg, *weights, *seed)
@@ -50,11 +50,11 @@ func main() {
 	case "bipartite":
 		m, stats = core.BipartiteMCMWithConfig(g, *k, cfg, oracle)
 	case "general":
-		m, stats = core.GeneralMCM(g, *k, *seed, core.GeneralOptions{Oracle: oracle, IdleStop: 40})
+		m, stats = core.GeneralMCMWithConfig(g, *k, cfg, core.GeneralOptions{Oracle: oracle, IdleStop: 40})
 	case "generic":
 		m, stats = core.GenericMCM(g, *eps, *seed, oracle)
 	case "weighted":
-		m, stats = core.WeightedMWM(g, *eps, *seed, oracle, nil)
+		m, stats = core.WeightedMWMWithConfig(g, cfg, *eps, oracle, nil)
 	case "quarter":
 		m, stats = lpr.RunWithConfig(g, cfg, *eps, oracle)
 	case "israeliitai":

@@ -388,13 +388,18 @@ func BipartiteMCM(g *graph.Graph, k int, seed uint64, oracle bool) (*graph.Match
 }
 
 // BipartiteMCMWithConfig is BipartiteMCM with full engine configuration
-// (per-round traffic profiling, round limits).
+// (per-round traffic profiling, round limits, backend selection —
+// cfg.Backend picks between the bit-identical coroutine and flat
+// executions; auto means flat).
 func BipartiteMCMWithConfig(g *graph.Graph, k int, cfg dist.Config, oracle bool) (*graph.Matching, *dist.Stats) {
 	if k < 1 {
 		panic("core: BipartiteMCM requires k >= 1")
 	}
 	if !g.IsBipartite() {
 		panic("core: BipartiteMCM requires a bipartite graph")
+	}
+	if cfg.Backend.UseFlat() {
+		return runFlatBipartite(g, k, cfg, oracle)
 	}
 	matchedEdge := make([]int32, g.N())
 	stats := dist.Run(g, cfg, func(nd *dist.Node) {

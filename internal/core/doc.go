@@ -21,4 +21,19 @@
 // All algorithms run as genuine per-node programs on the synchronous
 // message-passing engine of internal/dist; every reported round, message
 // and bit is actually exchanged.
+//
+// # Execution forms
+//
+// BipartiteMCM, GeneralMCM and WeightedMWM exist in two bit-identical
+// forms sharing one engine substrate: the blocking programs in
+// bipartite.go/general.go/weighted.go (coroutine backend — the readable
+// reference notation) and the machine-composition ports in
+// flat.go/flat_general.go/flat_weighted.go (flat backend — dist.Machine
+// fragments chained by dist.Seq, zero stack switches, 3-6x the
+// node-rounds/s; see DESIGN.md §1 and BENCH_pr3.json). dist.Config.Backend
+// selects the form (auto = flat); the differential suites in flat_test.go
+// pin matching, Stats and per-round profiles equal, so any change to one
+// form must be mirrored in the other. Strict CONGEST execution
+// (bipartite_strict.go) and the LOCAL-model GenericMCM have only the
+// blocking form.
 package core

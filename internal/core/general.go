@@ -56,6 +56,15 @@ func (memberMsg) Bits() int { return 1 }
 // an arbitrary graph g with high probability (Theorem 3.11), in
 // O(2^{2k}k⁴ log k · log n) rounds with O(log n)-bit messages.
 func GeneralMCM(g *graph.Graph, k int, seed uint64, opts GeneralOptions) (*graph.Matching, *dist.Stats) {
+	return GeneralMCMWithConfig(g, k, dist.Config{Seed: seed}, opts)
+}
+
+// GeneralMCMWithConfig is GeneralMCM with full engine configuration
+// (profiling, limits, backend selection — cfg.Backend picks between the
+// bit-identical coroutine and flat executions; auto means flat). Strict
+// CONGEST mode (opts.StrictCapacityBits > 0) always runs on the
+// coroutine backend: the chunk pipelining has no flat port yet.
+func GeneralMCMWithConfig(g *graph.Graph, k int, cfg dist.Config, opts GeneralOptions) (*graph.Matching, *dist.Stats) {
 	if k < 3 {
 		panic("core: GeneralMCM requires k > 2 (Algorithm 4)")
 	}
@@ -63,8 +72,11 @@ func GeneralMCM(g *graph.Graph, k int, seed uint64, opts GeneralOptions) (*graph
 	if iters <= 0 {
 		iters = TheoryIters(k)
 	}
+	if cfg.Backend.UseFlat() && opts.StrictCapacityBits <= 0 {
+		return runFlatGeneral(g, k, cfg, opts, iters)
+	}
 	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		st := &MatchState{MatchedPort: -1}
 		nbrRed := make([]bool, nd.Deg())
 		nbrIn := make([]bool, nd.Deg())

@@ -48,11 +48,17 @@ type releaseMsg struct{ dist.Signal }
 // empty matching), which experiment E6 compares against the Lemma 4.3
 // bound w(M_i) ≥ ½(1−e^{−2δi/3})·w(M*).
 func WeightedMWM(g *graph.Graph, eps float64, seed uint64, oracle bool, trace []*graph.Matching) (*graph.Matching, *dist.Stats) {
+	return WeightedMWMWithConfig(g, dist.Config{Seed: seed}, eps, oracle, trace)
+}
+
+// WeightedMWMWithConfig is WeightedMWM with full engine configuration
+// (profiling, limits, backend selection — cfg.Backend picks between the
+// bit-identical coroutine and flat executions; auto means flat).
+func WeightedMWMWithConfig(g *graph.Graph, cfg dist.Config, eps float64, oracle bool, trace []*graph.Matching) (*graph.Matching, *dist.Stats) {
 	iters := WeightedIters(eps)
 	if trace != nil && len(trace) != iters+1 {
 		panic("core: trace must have WeightedIters(eps)+1 entries")
 	}
-	matchedEdge := make([]int32, g.N())
 	snap := make([][]int32, 0)
 	if trace != nil {
 		snap = make([][]int32, iters+1)
@@ -71,7 +77,18 @@ func WeightedMWM(g *graph.Graph, eps float64, seed uint64, oracle bool, trace []
 		snap[it][nd.ID()] = e
 	}
 
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	if cfg.Backend.UseFlat() {
+		matchedEdge, stats := runFlatWeighted(g, cfg, iters, oracle, record)
+		if trace != nil {
+			for i := range snap {
+				trace[i] = graph.CollectMatching(g, snap[i])
+			}
+		}
+		return graph.CollectMatching(g, matchedEdge), stats
+	}
+
+	matchedEdge := make([]int32, g.N())
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		st := &MatchState{MatchedPort: -1}
 		record(nd, st, 0)
 		wm := make([]float64, nd.Deg())

@@ -53,14 +53,22 @@
 // Send/SendAll and all geometry accessors work identically; the blocking
 // Step primitives panic (there is no stack to park).
 //
-// Use the flat form for hot protocols whose per-round logic is a pure
-// function of (state, inbox) — Israeli–Itai, Luby's MIS and the LPR
-// weight classes all have RoundProgram ports, selected via
-// Config.Backend (bit-identical to their blocking forms, roughly 3-5x
-// the node-rounds/s; see DESIGN.md §1 for measurements). Keep the
-// blocking form for programs that compose sub-protocols with complex
-// control flow (internal/core's phases) or that are written once and run
-// rarely — it is the more natural notation, and still fast.
+// Use the flat form for hot protocols — Israeli–Itai, Luby's MIS, the
+// LPR weight classes, LocalGreedy and the whole internal/core pipeline
+// (Algorithms 3-5) have RoundProgram ports, selected via Config.Backend
+// (bit-identical to their blocking forms, roughly 3-6x the node-rounds/s;
+// see DESIGN.md §1 for measurements). Protocols that nest sub-protocols
+// do not need a blocking stack for it: the Machine interface plus the
+// Seq combinator (machine.go) compose state-machine fragments — a
+// counting BFS feeding an MIS token walk feeding a commit broadcast,
+// repeated per phase — into one RoundProgram, segment-aligned with the
+// equivalent blocking call tree. Keep the blocking form as the readable
+// reference implementation and for programs written once and run rarely
+// — it is the more natural notation, and still fast.
+//
+// For many short runs on one graph (seed sweeps, per-slot schedules),
+// Runner (runner.go) amortizes engine setup — slabs, dest tables, the
+// worker pool — across runs, bit-identical to fresh Run/RunFlat calls.
 //
 // # Execution model
 //

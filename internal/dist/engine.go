@@ -355,6 +355,9 @@ type engine struct {
 	coros []*pooledCoro  // adopted coroutines, indexed by id (cold, coroutine backend)
 	progs []RoundProgram // per-node state machines (flat backend; nil ⇒ coroutine)
 
+	// progSlab backs progs across a Runner's flat runs (see runner.go).
+	progSlab []RoundProgram
+
 	// aborting makes every subsequent park unwind its program; set (only)
 	// before the abortLive sweep.
 	aborting bool

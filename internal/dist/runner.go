@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"distmatch/internal/graph"
+
+	"distmatch/internal/rng"
+)
+
+// Runner amortizes per-run engine setup across many runs on one graph.
+// A fresh Run/RunFlat pays O(n+m) allocation (mailbox buffers, node and
+// RNG slabs, the Step return slab), worker construction and — above one
+// worker — dispatch goroutine spawning on every call; with the flat
+// backend's per-round cost down to ~tens of nanoseconds per node-round,
+// that setup dominates short runs (seed sweeps, per-slot switch
+// schedules, experiment batteries). A Runner builds the engine once and
+// resets it per run: mailboxes are cleared in place, RNG streams are
+// reseeded, and the worker pool (including its dispatch goroutines)
+// stays warm. BenchmarkRunnerFresh/BenchmarkRunnerReuse measure the win.
+//
+// Results are bit-identical to fresh Run/RunFlat calls with the same
+// Config and seed (TestRunnerMatchesRun). A Runner is not safe for
+// concurrent use; a run that panics (program panic, MaxRounds, desync)
+// re-panics in the caller and leaves the Runner reusable.
+type Runner struct {
+	e      *engine
+	closed bool
+}
+
+// NewRunner builds a reusable engine for g under cfg. cfg.Seed is
+// ignored; each run supplies its own. Close the Runner when done to
+// release its dispatch goroutines.
+func NewRunner(g *graph.Graph, cfg Config) *Runner {
+	return &Runner{e: newEngine(g, cfg)}
+}
+
+// Run executes one blocking program under the given seed — Run's pooled
+// counterpart.
+func (r *Runner) Run(seed uint64, program func(*Node)) *Stats {
+	e := r.check()
+	if e.n == 0 {
+		return &Stats{}
+	}
+	e.reset(seed)
+	e.launch(program)
+	defer func() {
+		e.abortLive()
+		releaseCoros(e.coros)
+		e.coros = nil
+	}()
+	e.loop()
+	st := e.stats
+	return &st
+}
+
+// RunFlat executes one RoundProgram per node under the given seed —
+// RunFlat's pooled counterpart. The per-node program slab is reused
+// across runs; the factory may itself recycle machines (Reset instead of
+// allocate), which removes the last per-run allocation.
+func (r *Runner) RunFlat(seed uint64, factory func(nd *Node) RoundProgram) *Stats {
+	e := r.check()
+	if e.n == 0 {
+		return &Stats{}
+	}
+	e.reset(seed)
+	if e.progSlab == nil {
+		e.progSlab = make([]RoundProgram, e.n)
+	}
+	e.progs = e.progSlab
+	for i := range e.nodes {
+		e.progs[i] = factory(&e.nodes[i])
+	}
+	defer e.abortLive()
+	e.loop()
+	st := e.stats
+	return &st
+}
+
+// Close releases the Runner's dispatch goroutines. Further runs panic.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, ch := range r.e.dispatch {
+		close(ch)
+	}
+	r.e.dispatch = nil
+}
+
+func (r *Runner) check() *engine {
+	if r.closed {
+		panic("dist: Run on a closed Runner")
+	}
+	return r.e
+}
+
+// reset rewinds the engine to its pre-run state for a new seed, keeping
+// every slab and the worker pool. Mailboxes may hold undelivered
+// messages from a previous run's final segments or an abort, so both
+// buffers are cleared.
+func (e *engine) reset(seed uint64) {
+	e.cfg.Seed = seed
+	clear(e.cur)
+	clear(e.nxt)
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nd.done, nd.started = false, false
+		nd.next, nd.yield = nil, nil
+	}
+	for v := range e.rnds {
+		e.rnds[v].Seed(rng.ForkSeed(seed, uint64(v)))
+	}
+	for i := range e.workers {
+		e.workers[i].panicID, e.workers[i].panicVal = -1, nil
+	}
+	e.aborting = false
+	e.orGlobal, e.maxGlobal = false, 0
+	e.progs = nil
+	// A fresh Stats each run: the previous run's copy was returned to the
+	// caller, so its roundMaxBits backing array must not be reused.
+	e.stats = Stats{}
+}

@@ -1,0 +1,161 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"distmatch/internal/graph"
+)
+
+// runnerWorkload is a small blocking program exercising sends, RNG and an
+// oracle round, with per-node output into out.
+func runnerWorkload(out []int64) func(*Node) {
+	return func(nd *Node) {
+		acc := int64(0)
+		for r := 0; r < 6; r++ {
+			nd.SendAll(Count(nd.Rand().Intn(100)))
+			for _, in := range nd.Step() {
+				acc += int64(in.Msg.(Count))
+			}
+		}
+		_, any := nd.StepOr(nd.ID() == 0)
+		if any {
+			acc++
+		}
+		out[nd.ID()] = acc
+	}
+}
+
+func runnerStatsEqual(t *testing.T, label string, want, got *Stats) {
+	t.Helper()
+	if want.Rounds != got.Rounds || want.Messages != got.Messages ||
+		want.Bits != got.Bits || want.MaxMessageBits != got.MaxMessageBits ||
+		want.OracleCalls != got.OracleCalls {
+		t.Fatalf("%s: stats differ: fresh %v vs runner %v", label, want, got)
+	}
+	if !reflect.DeepEqual(want.Profile, got.Profile) {
+		t.Fatalf("%s: profiles differ", label)
+	}
+	if want.PipelinedRounds(3) != got.PipelinedRounds(3) {
+		t.Fatalf("%s: pipelined rounds differ", label)
+	}
+}
+
+// TestRunnerMatchesRun proves Runner runs are bit-identical to fresh
+// Run/RunFlat calls, across seeds, worker counts and both backends.
+func TestRunnerMatchesRun(t *testing.T) {
+	g := ring(37)
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Workers: workers, Profile: true}
+		r := NewRunner(g, cfg)
+		for seed := uint64(1); seed <= 5; seed++ {
+			label := fmt.Sprintf("workers=%d seed=%d", workers, seed)
+			fcfg := cfg
+			fcfg.Seed = seed
+
+			fresh := make([]int64, g.N())
+			want := Run(g, fcfg, runnerWorkload(fresh))
+			pooled := make([]int64, g.N())
+			got := r.Run(seed, runnerWorkload(pooled))
+			runnerStatsEqual(t, label+"/coro", want, got)
+			if !reflect.DeepEqual(fresh, pooled) {
+				t.Fatalf("%s: outputs differ: %v vs %v", label, fresh, pooled)
+			}
+
+			wantF := RunFlat(g, fcfg, func(*Node) RoundProgram { return &countdownProgram{left: 5} })
+			gotF := r.RunFlat(seed, func(*Node) RoundProgram { return &countdownProgram{left: 5} })
+			runnerStatsEqual(t, label+"/flat", wantF, gotF)
+		}
+		r.Close()
+	}
+}
+
+// countdownProgram is a trivial RoundProgram beaconing for a fixed number
+// of rounds.
+type countdownProgram struct{ left int }
+
+func (p *countdownProgram) Init(nd *Node) bool {
+	nd.SendAll(Signal{})
+	p.left--
+	return p.left > 0
+}
+
+func (p *countdownProgram) OnRound(nd *Node, in []Incoming) bool {
+	if p.left == 0 {
+		return false
+	}
+	nd.SendAll(Signal{})
+	p.left--
+	return p.left > 0
+}
+
+// TestRunnerReuseAfterPanic proves a Runner survives a panicking run —
+// including leftover undelivered mailbox state — and still produces
+// bit-identical results afterwards.
+func TestRunnerReuseAfterPanic(t *testing.T) {
+	g := ring(16)
+	r := NewRunner(g, Config{Workers: 3})
+	defer r.Close()
+
+	boom := func(nd *Node) {
+		nd.SendAll(Signal{})
+		nd.Step()
+		if nd.ID() == 7 {
+			panic("boom")
+		}
+		nd.SendAll(Signal{})
+		nd.Step()
+	}
+	func() {
+		defer func() {
+			if rec := recover(); rec != "boom" {
+				t.Fatalf("expected boom panic, got %v", rec)
+			}
+		}()
+		r.Run(1, boom)
+	}()
+
+	out := make([]int64, g.N())
+	want := Run(g, Config{Seed: 2, Workers: 3}, runnerWorkload(out))
+	got := r.Run(2, runnerWorkload(make([]int64, g.N())))
+	runnerStatsEqual(t, "after panic", want, got)
+
+	// MaxRounds abort is a panic too; the Runner must survive it as well.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected MaxRounds panic")
+			}
+		}()
+		rr := NewRunner(g, Config{MaxRounds: 2})
+		defer rr.Close()
+		rr.Run(1, func(nd *Node) {
+			for {
+				nd.Step()
+			}
+		})
+	}()
+	got2 := r.Run(2, runnerWorkload(make([]int64, g.N())))
+	runnerStatsEqual(t, "after maxrounds", want, got2)
+}
+
+// TestRunnerEdgeCases covers the empty graph and use-after-Close.
+func TestRunnerEdgeCases(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	r := NewRunner(empty, Config{})
+	if st := r.Run(1, func(*Node) {}); st.Rounds != 0 {
+		t.Fatalf("empty graph ran %d rounds", st.Rounds)
+	}
+	if st := r.RunFlat(1, func(*Node) RoundProgram { return &countdownProgram{left: 1} }); st.Rounds != 0 {
+		t.Fatalf("empty graph ran %d flat rounds", st.Rounds)
+	}
+	r.Close()
+	r.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Run after Close")
+		}
+	}()
+	r.Run(1, func(*Node) {})
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/israeliitai"
+	"distmatch/internal/rng"
+	"distmatch/internal/stats"
+)
+
+// E13Variance measures the run-to-run spread of the randomized baseline
+// across a seed sweep on fixed graphs — the empirical face of the "with
+// high probability" qualifiers: the Israeli–Itai matching size
+// concentrates near maximal (every run is maximal, hence ≥ ½·opt) and
+// the round count concentrates near its O(log n) bound. The sweep runs
+// through one shared dist.Runner per instance, the batch path whose
+// setup amortization BenchmarkRunnerReuse quantifies.
+func E13Variance(cfg Config) *stats.Table {
+	t := stats.NewTable("E13 · seed sweep — Israeli–Itai concentration (batch runner)",
+		"instance", "seeds", "size min/mean/max", "want>=", "rounds mean±sd")
+	trials := cfg.pick(24, 96)
+	r := rng.New(cfg.Seed + 13)
+	sizes := []int{128, 512}
+	if !cfg.Quick {
+		sizes = []int{128, 512, 2048}
+	}
+	for _, n := range sizes {
+		g := gen.Gnm(r.Fork(uint64(n)), n, 4*n)
+		opt := exact.BlossomMCM(g).Size()
+		seeds := make([]uint64, trials)
+		for i := range seeds {
+			seeds[i] = cfg.Seed + uint64(i) + 1
+		}
+		ms, sts := israeliitai.RunSeeds(g, dist.Config{}, seeds, true)
+		minSz, maxSz, sumSz := ms[0].Size(), ms[0].Size(), 0
+		var sumR, sumR2 float64
+		for i, m := range ms {
+			sz := m.Size()
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			sumSz += sz
+			rr := float64(sts[i].Rounds)
+			sumR += rr
+			sumR2 += rr * rr
+		}
+		meanR := sumR / float64(trials)
+		sdR := math.Sqrt(math.Max(0, sumR2/float64(trials)-meanR*meanR))
+		t.Add(fmt.Sprintf("G(%d,%d)", n, 4*n), trials,
+			fmt.Sprintf("%d/%.1f/%d", minSz, float64(sumSz)/float64(trials), maxSz),
+			fmt.Sprintf("%.1f (opt/2)", float64(opt)/2),
+			fmt.Sprintf("%.1f±%.1f", meanR, sdR))
+	}
+	return t
+}

@@ -168,10 +168,28 @@ func TestE12(t *testing.T) {
 	}
 }
 
+func TestE13(t *testing.T) {
+	tb := E13Variance(quickCfg)
+	checkTable(t, tb, 2)
+	// Every sweep's minimum size must clear the maximality floor opt/2.
+	for _, r := range tb.Rows {
+		minStr, _, _ := strings.Cut(r[2], "/")
+		minSz, err1 := strconv.ParseFloat(minStr, 64)
+		boundStr, _, _ := strings.Cut(r[3], " ")
+		bound, err2 := strconv.ParseFloat(boundStr, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", r)
+		}
+		if minSz < bound-1e-9 {
+			t.Fatalf("seed-sweep minimum %v below opt/2 = %v", minSz, bound)
+		}
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(quickCfg)
-	if len(tables) != 12 {
-		t.Fatalf("All returned %d tables, want 12", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("All returned %d tables, want 13", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {

@@ -30,7 +30,9 @@ const (
 // ClassMachine executes one RunClass invocation as a per-round state
 // machine. Zero value is unusable; call Reset first. The driving
 // RoundProgram calls Start for the class's first segment and then routes
-// every inbox to OnRound until one of them reports done.
+// every inbox to OnRound until one of them reports done — the
+// dist.Machine contract, which dist.Seq and internal/core's phase
+// pipeline generalize.
 type ClassMachine struct {
 	st       *State
 	eligible func(p int) bool
@@ -179,6 +181,9 @@ func (m *ClassMachine) computeLive(nd *dist.Node) {
 		}
 	}
 }
+
+// ClassMachine is the pattern dist.Machine generalizes; assert the fit.
+var _ dist.Machine = (*ClassMachine)(nil)
 
 // everyPort is the whole-graph eligibility used by the plain protocol.
 func everyPort(int) bool { return true }

@@ -39,6 +39,13 @@ func NewState(nd *dist.Node) *State {
 	return &State{Free: true, MatchedPort: -1, NbrMatched: make([]bool, nd.Deg())}
 }
 
+// Reset rearms st for a fresh run on the same node — the allocation-free
+// alternative to NewState for batch sweeps (see RunSeeds).
+func (st *State) Reset() {
+	st.Free, st.MatchedPort, st.announced = true, -1, false
+	clear(st.NbrMatched)
+}
+
 // Budget returns the default fixed iteration budget giving maximality with
 // high probability: dist.LogBudget(n, 8), i.e. 8·⌈log₂ n⌉ + 8.
 func Budget(n int) int { return dist.LogBudget(n, 8) }

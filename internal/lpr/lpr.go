@@ -127,8 +127,18 @@ func RunLocalWeights(nd *dist.Node, w []float64, eps float64, oracle bool) int {
 // iterations is Θ(n) in the worst case (gen.AdversarialChain). maxIters
 // bounds the iterations when oracle is false.
 func LocalGreedy(g *graph.Graph, seed uint64, maxIters int, oracle bool) (*graph.Matching, *dist.Stats) {
+	return LocalGreedyWithConfig(g, dist.Config{Seed: seed}, maxIters, oracle)
+}
+
+// LocalGreedyWithConfig is LocalGreedy with full engine configuration
+// (profiling, limits, backend selection — cfg.Backend picks between the
+// bit-identical coroutine and flat executions; auto means flat).
+func LocalGreedyWithConfig(g *graph.Graph, cfg dist.Config, maxIters int, oracle bool) (*graph.Matching, *dist.Stats) {
+	if cfg.Backend.UseFlat() {
+		return runFlatGreedy(g, cfg, maxIters, oracle)
+	}
 	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		matchedEdge[nd.ID()] = -1
 		free := true
 		announcedSelf := false

@@ -1,54 +1,79 @@
 #!/usr/bin/env bash
-# Records the coroutine-vs-flat backend comparison into BENCH_pr2.json:
-# node-rounds/s per protocol per backend plus the flat/coro speedup —
-# extending the BENCH trajectory started by BENCH_baseline.json.
+# Records the coroutine-vs-flat backend comparison into BENCH_pr3.json:
+# node-rounds/s per protocol per backend with the flat/coro speedup — now
+# including the core pipeline (BipartiteMCM, GeneralMCM, WeightedMWM) and
+# LocalGreedy pairs added in PR 3 — plus the multi-worker scaling sweep
+# (Config.Workers ∈ {1,2,4,8,16}) and the batch-runner amortization pair.
+# Extends the BENCH trajectory (BENCH_baseline.json, BENCH_pr2.json).
 # Run from the repository root: ./scripts/bench_compare.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr2.json
+out=BENCH_pr3.json
 benchtime=${BENCHTIME:-1s}
 
+# The pairs and the worker sweep run as separate invocations: a "/" in a
+# -bench alternation would be treated as a sub-benchmark separator.
 raw=$(go test -run '^$' -benchtime "$benchtime" \
-	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro)$' \
+	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse)$' \
+	. 2>&1)
+raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
+	-bench '^(BenchmarkEngineRoundWorkers|BenchmarkEngineRoundFlatWorkers)$/^w[0-9]+$' \
 	. 2>&1)
 
 {
 	echo '{'
 	echo '  "recorded": "'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'",'
 	echo '  "go": "'"$(go env GOVERSION)"'",'
-	echo '  "gomaxprocs": '"$(nproc)"','
+	echo '  "cpus": '"$(nproc)"','
 	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
 	echo '  "benchtime": "'"$benchtime"'",'
 	echo '  "metric": "node-rounds/s",'
-	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs, see differential tests",'
-	echo '  "pairs": ['
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends; workers beyond the cpus count measure pure barrier/dispatch overhead. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run.",'
 	printf '%s\n' "$raw" | awk '
 		/^Benchmark/ {
 			name=$1; sub(/-[0-9]+$/, "", name)
-			# node-rounds/s is the extra metric column: value unit
 			rate=0
 			for (i=2; i<NF; i++) if ($(i+1) == "node-rounds/s") rate=$i
 			rates[name]=rate
 		}
 		END {
-			n=0
-			pairs["EngineRound"]      = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
-			pairs["IsraeliItai"]      = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
-			pairs["MIS"]              = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
-			pairs["LPRQuarter"]       = "BenchmarkAlgLPRQuarterCoro BenchmarkAlgLPRQuarter"
+			npair=0
+			pairs["EngineRound"]  = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
+			pairs["IsraeliItai"]  = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
+			pairs["MIS"]          = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
+			pairs["LPRQuarter"]   = "BenchmarkAlgLPRQuarterCoro BenchmarkAlgLPRQuarter"
+			pairs["BipartiteMCM"] = "BenchmarkAlgBipartiteMCMCoro BenchmarkAlgBipartiteMCM"
+			pairs["GeneralMCM"]   = "BenchmarkAlgGeneralMCMCoro BenchmarkAlgGeneralMCM"
+			pairs["WeightedMWM"]  = "BenchmarkAlgWeightedMWMCoro BenchmarkAlgWeightedMWM"
+			pairs["LocalGreedy"]  = "BenchmarkAlgLocalGreedyCoro BenchmarkAlgLocalGreedy"
 			order[1]="EngineRound"; order[2]="IsraeliItai"; order[3]="MIS"; order[4]="LPRQuarter"
-			for (k=1; k<=4; k++) {
+			order[5]="BipartiteMCM"; order[6]="GeneralMCM"; order[7]="WeightedMWM"; order[8]="LocalGreedy"
+			printf "  \"pairs\": [\n"
+			for (k=1; k<=8; k++) {
 				p=order[k]
 				split(pairs[p], b, " ")
 				coro=rates[b[1]]+0; flat=rates[b[2]]+0
 				speedup = (coro > 0) ? flat/coro : 0
-				line=sprintf("    {\"name\": \"%s\", \"coro\": %.0f, \"flat\": %.0f, \"speedup\": %.2f}", p, coro, flat, speedup)
-				lines[n++]=line
+				printf "    {\"name\": \"%s\", \"coro\": %.0f, \"flat\": %.0f, \"speedup\": %.2f}%s\n", \
+					p, coro, flat, speedup, (k<8 ? "," : "")
 			}
-			for (i=0; i<n; i++) printf "%s%s\n", lines[i], (i<n-1 ? "," : "")
+			printf "  ],\n"
+			fresh=rates["BenchmarkRunnerShortFresh"]+0
+			reuse=rates["BenchmarkRunnerShortReuse"]+0
+			printf "  \"runner_short\": {\"fresh\": %.0f, \"reuse\": %.0f, \"speedup\": %.2f},\n", \
+				fresh, reuse, (fresh > 0 ? reuse/fresh : 0)
+			printf "  \"scaling\": [\n"
+			nw=split("1 2 4 8 16", ws, " ")
+			for (k=1; k<=nw; k++) {
+				w=ws[k]
+				coro=rates["BenchmarkEngineRoundWorkers/w" w]+0
+				flat=rates["BenchmarkEngineRoundFlatWorkers/w" w]+0
+				printf "    {\"workers\": %s, \"coro\": %.0f, \"flat\": %.0f}%s\n", \
+					w, coro, flat, (k<nw ? "," : "")
+			}
+			printf "  ]\n"
 		}'
-	echo '  ]'
 	echo '}'
 } > "$out"
 
