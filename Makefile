@@ -33,8 +33,9 @@ bench-baseline:
 
 # bench-compare records coroutine-vs-flat backend node-rounds/s per
 # protocol — including the core Algorithm 3-5 pipeline — plus the
-# Config.Workers scaling sweep and the batch-runner amortization pair
-# into BENCH_pr3.json (set BENCHTIME=3s for stabler numbers).
+# Config.Workers scaling sweep, the batch-runner amortization pair and
+# the dynamic-maintainer incremental-vs-recompute switch pair into
+# BENCH_pr4.json (set BENCHTIME=3s for stabler numbers).
 bench-compare:
 	./scripts/bench_compare.sh
 

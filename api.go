@@ -5,8 +5,10 @@
 // (CONGEST/LOCAL models), the classical baselines (Israeli–Itai maximal
 // matching, Luby MIS, a weight-class (¼−ε)-MWM black box), exact
 // centralized references (Hopcroft–Karp, Edmonds blossom, Galil's O(n³)
-// maximum weight matching), graph workload generators, and an input-queued
-// switch scheduling application.
+// maximum weight matching), graph workload generators, an input-queued
+// switch scheduling application, and an incremental Maintainer
+// (NewMaintainer) that serves streams of edge updates over a mutable
+// graph instead of recomputing per change.
 //
 // The package offers one entry point per algorithm:
 //
@@ -24,6 +26,7 @@ import (
 	"distmatch/internal/check"
 	"distmatch/internal/core"
 	"distmatch/internal/dist"
+	"distmatch/internal/dynamic"
 	"distmatch/internal/exact"
 	"distmatch/internal/gen"
 	"distmatch/internal/graph"
@@ -191,6 +194,57 @@ func MWMQuarter(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 func MIS(g *Graph, seed uint64, opts ...Option) ([]bool, *Stats) {
 	c := buildConfig(opts)
 	return mis.RunWithConfig(g, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)
+}
+
+// ---- Dynamic maintenance (incremental matching over mutable graphs) ----
+
+// Maintainer holds a (1−1/k)-approximate matching over the live subgraph
+// of a fixed bipartite slab and repairs it incrementally under batched
+// edge updates, instead of recomputing per change: apply a Batch, read
+// Matching(). See NewMaintainer.
+type Maintainer = dynamic.Maintainer
+
+// Batch is an ordered list of edge updates applied atomically by
+// Maintainer.Apply.
+type Batch = dynamic.Batch
+
+// Update is one edge mutation (by slab edge id).
+type Update = dynamic.Update
+
+// MaintainerOptions configures NewMaintainer.
+type MaintainerOptions = dynamic.Options
+
+// ApplyReport describes what one Maintainer.Apply did (region size,
+// recompute/audit outcomes, engine cost).
+type ApplyReport = dynamic.ApplyReport
+
+// The update kinds of a Batch.
+const (
+	// EdgeInsert activates a slab edge (no-op if live).
+	EdgeInsert = dynamic.Insert
+	// EdgeDelete deactivates a slab edge (no-op if dead); deleting a
+	// matched edge frees its endpoints for the repair to re-match.
+	EdgeDelete = dynamic.Delete
+	// EdgeSetWeight changes an edge weight without touching liveness.
+	EdgeSetWeight = dynamic.SetWeight
+)
+
+// NewMaintainer builds an incremental matching maintainer over the
+// bipartite slab g: the node set and the universe of candidate edges are
+// fixed, which of them currently exist is mutable state. Each
+// Apply(Batch) repairs only the ≤(2k−1)-hop region the batch could affect,
+// re-running the paper's augmenting-path machinery there with the rest
+// of the matching frozen, and a periodic certificate audit (the Berge
+// probe of VerifyDistributed, run mask-aware on the same persistent
+// engine) triggers a full recompute whenever short augmenting paths
+// accumulate across region boundaries — so every audited state is
+// (1−1/k)-approximate on the live subgraph. Close the Maintainer when
+// done.
+//
+// The matching starts empty: grow the graph from StartEmpty with Insert
+// batches, or call Recompute once to solve a prepopulated slab.
+func NewMaintainer(g *Graph, opts MaintainerOptions) *Maintainer {
+	return dynamic.New(g, opts)
 }
 
 // VerifyReport is the outcome of distributed self-verification.

@@ -164,6 +164,47 @@ func TestFacadeBuilder(t *testing.T) {
 
 // TestFacadeBackendOption proves the WithBackend option is threaded
 // through the facade and that both backends give bit-identical results.
+func TestFacadeMaintainer(t *testing.T) {
+	g := RandomBipartite(3, 30, 30, 0.15)
+	mt := NewMaintainer(g, MaintainerOptions{K: 3, Seed: 2})
+	defer mt.Close()
+	rep := mt.Recompute()
+	if !rep.Recomputed || rep.Rounds == 0 {
+		t.Fatalf("Recompute report %+v", rep)
+	}
+	before := mt.Matching().Size()
+	if before == 0 {
+		t.Fatal("empty matching on a 0.15-density slab")
+	}
+	opt := OptimalMCM(mt.LiveGraph()).Size()
+	if mt.Matching().Size()*3 < 2*opt {
+		t.Fatalf("maintained matching %d below 2/3 of %d", mt.Matching().Size(), opt)
+	}
+	// Delete every matched edge in one batch; the repair must rebuild a
+	// valid matching over what is left.
+	var b Batch
+	for _, e := range mt.Matching().Edges(g) {
+		b = append(b, Update{Edge: e, Op: EdgeDelete})
+	}
+	rep = mt.Apply(b)
+	if rep.Touched == 0 {
+		t.Fatalf("mass delete touched nothing: %+v", rep)
+	}
+	m := mt.Matching()
+	if err := m.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Edges(g) {
+		if !mt.Live(e) {
+			t.Fatalf("matched edge %d is dead", e)
+		}
+	}
+	a := mt.Audit()
+	if !a.Audited || !a.CertificateOK {
+		t.Fatalf("audit after mass delete: %+v", a)
+	}
+}
+
 func TestFacadeBackendOption(t *testing.T) {
 	g := WithUniformWeights(10, RandomGraph(9, 60, 0.1), 1, 20)
 	coro := MaximalMatching(g, 11, WithBackend(BackendCoroutine))

@@ -70,6 +70,60 @@ func BenchmarkE11LocalSearch(b *testing.B) { benchExperiment(b, experiments.E11L
 // BenchmarkE12Trees regenerates E12 (§1 constant-time trees, [12]).
 func BenchmarkE12Trees(b *testing.B) { benchExperiment(b, experiments.E12Trees) }
 
+// BenchmarkE14Dynamic regenerates E14 (incremental maintainer vs
+// per-slot recompute on the switch workload).
+func BenchmarkE14Dynamic(b *testing.B) { benchExperiment(b, experiments.E14Dynamic) }
+
+// ---- Dynamic maintainer: amortized per-slot wall cost ----
+//
+// The BENCH_pr4.json pair: one time slot of the 16-port switch under
+// bursty traffic (the persistent-demand regime), scheduled either by the
+// incremental Maintainer (diff + regional repair on one persistent
+// engine) or by the status-quo DistMCM (fresh request graph + fresh
+// engine + cold BipartiteMCM every slot). ns/op is ns per slot.
+
+func benchSwitchSlots(b *testing.B, sched switchsched.Scheduler) {
+	b.Helper()
+	n := 16
+	load := 0.95
+	arr := &switchsched.Bursty{MeanBurst: 16}
+	arrR := rng.New(1)
+	loadR := rng.New(2)
+	schedR := rng.New(3)
+	q := &switchsched.Queues{N: n, Len: make([][]int, n)}
+	for i := range q.Len {
+		q.Len[i] = make([]int, n)
+	}
+	dest := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Gen(n, arrR, dest)
+		for j := 0; j < n; j++ {
+			if dest[j] >= 0 && loadR.Float64() < load {
+				q.Len[j][dest[j]]++
+			}
+		}
+		out := sched.Schedule(q, schedR)
+		for j := 0; j < n; j++ {
+			if d := out[j]; d >= 0 && q.Len[j][d] > 0 {
+				q.Len[j][d]--
+			}
+		}
+	}
+}
+
+// BenchmarkDynamicSwitchIncremental is one slot via the Maintainer.
+func BenchmarkDynamicSwitchIncremental(b *testing.B) {
+	d := &switchsched.DynMCM{K: 2, Seed: 11}
+	defer d.Close()
+	benchSwitchSlots(b, d)
+}
+
+// BenchmarkDynamicSwitchRecompute is one slot via per-slot BipartiteMCM.
+func BenchmarkDynamicSwitchRecompute(b *testing.B) {
+	benchSwitchSlots(b, &switchsched.DistMCM{K: 2})
+}
+
 // ---- Algorithm-level benchmarks at a fixed mid-size workload ----
 
 func bipartiteWorkload(seed uint64, half int) *Graph {

@@ -6,6 +6,7 @@
 //	distmatch -algo bipartite -n 1024 -k 3
 //	distmatch -algo weighted -n 256 -eps 0.1 -weights exp
 //	distmatch -algo israeliitai -graph gnp -n 4096 -deg 8
+//	distmatch -dynamic -n 256 -k 3 -slots 500 -churn 4
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"distmatch/internal/core"
 	"distmatch/internal/dist"
+	"distmatch/internal/dynamic"
 	"distmatch/internal/exact"
 	"distmatch/internal/gen"
 	"distmatch/internal/graph"
@@ -37,7 +39,15 @@ func main() {
 	showOpt := flag.Bool("opt", true, "also compute the exact optimum (centralized) for the ratio")
 	profile := flag.Bool("profile", false, "print a per-round traffic profile (all algorithms except generic)")
 	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (every algorithm except generic has a flat state-machine port; backends are bit-identical)")
+	dyn := flag.Bool("dynamic", false, "serve a stream of edge updates with the incremental Maintainer (bipartite slab; -slots/-churn shape the stream) and compare against per-batch full recompute")
+	slots := flag.Int("slots", 500, "dynamic mode: number of update batches")
+	churn := flag.Int("churn", 4, "dynamic mode: edge insert/delete flips per batch")
 	flag.Parse()
+
+	if *dyn {
+		runDynamic(*n, *deg, *k, *seed, *slots, *churn, parseBackend(*backend))
+		return
+	}
 
 	g := buildGraph(*algo, *gkind, *n, *deg, *weights, *seed)
 	fmt.Printf("graph: %v\n", g)
@@ -95,6 +105,59 @@ func main() {
 				fmt.Printf("optimum:  size=%d ratio=%.4f\n", opt, float64(m.Size())/float64(opt))
 			}
 		}
+	}
+}
+
+// runDynamic is the -dynamic mode: one churn stream over a bipartite
+// slab, served twice through identical plumbing — incrementally and with
+// a cold full recompute per batch — then compared.
+func runDynamic(n int, deg float64, k int, seed uint64, slots, churn int, be dist.Backend) {
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	slab := gen.BipartiteGnp(r, n, n, minf(1, deg/float64(n)))
+	fmt.Printf("slab: %v  (edges start dead; %d flips/batch, %d batches)\n", slab, churn, slots)
+
+	serve := func(recompute bool) *dynamic.Maintainer {
+		mt := dynamic.New(slab, dynamic.Options{
+			K: k, Seed: seed, StartEmpty: true, AlwaysRecompute: recompute, Backend: be,
+		})
+		sr := rng.New(seed + 2)
+		for s := 0; s < slots; s++ {
+			b := make(dynamic.Batch, 0, churn)
+			for i := 0; i < churn; i++ {
+				e := sr.Intn(slab.M())
+				op := dynamic.Insert
+				if mt.Live(e) {
+					op = dynamic.Delete
+				}
+				b = append(b, dynamic.Update{Edge: e, Op: op})
+			}
+			mt.Apply(b)
+		}
+		return mt
+	}
+	inc := serve(false)
+	defer inc.Close()
+	full := serve(true)
+	defer full.Close()
+
+	ti, tf := inc.Totals(), full.Totals()
+	fmt.Printf("incremental: %.1f rounds, %.1f msgs per batch (%d regional repairs, %d full, %d audits, %d failed)\n",
+		float64(ti.Rounds)/float64(slots), float64(ti.Messages)/float64(slots),
+		ti.Repairs, ti.Recomputes, ti.Audits, ti.AuditFailures)
+	fmt.Printf("recompute:   %.1f rounds, %.1f msgs per batch\n",
+		float64(tf.Rounds)/float64(slots), float64(tf.Messages)/float64(slots))
+	fmt.Printf("amortized speedup: %.2fx rounds, %.2fx messages\n",
+		float64(tf.Rounds)/float64(ti.Rounds), float64(tf.Messages)/float64(ti.Messages))
+
+	m := inc.Matching()
+	if err := m.Verify(slab); err != nil {
+		fmt.Fprintf(os.Stderr, "INVALID MATCHING: %v\n", err)
+		os.Exit(1)
+	}
+	opt := exact.MaxCardinality(inc.LiveGraph()).Size()
+	if opt > 0 {
+		fmt.Printf("final live matching: size=%d optimum=%d ratio=%.4f (audited target >= %.4f)\n",
+			m.Size(), opt, float64(m.Size())/float64(opt), 1-1/float64(k))
 	}
 }
 

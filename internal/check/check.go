@@ -68,7 +68,29 @@ func Matching(g *graph.Graph, m *graph.Matching, probeLen int, seed uint64) (Rep
 // assume the assignment is consistent — that is what it checks.
 func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64) (Report, *dist.Stats) {
 	rep := Report{ShortestAug: -2}
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, dist.Config{Seed: seed}, program(matchedEdge, probeLen, &rep))
+	return rep, stats
+}
+
+// MatchingOnRunner runs the verification protocol through a shared
+// dist.Runner, respecting its edge activation mask: dead edges carry no
+// traffic, so validity, maximality and the Berge probe are all judged
+// against the runner's live subgraph. This is the audit path of the
+// dynamic Maintainer — a certificate check on the current topology
+// without materializing it. A matched edge that is dead is reported as
+// invalid (its handshake cannot complete).
+func MatchingOnRunner(r *dist.Runner, matchedEdge []int32, probeLen int, seed uint64) (Report, *dist.Stats) {
+	rep := Report{ShortestAug: -2}
+	stats := r.Run(seed, program(matchedEdge, probeLen, &rep))
+	return rep, stats
+}
+
+// program builds the node program shared by the fresh and runner entry
+// points. The engine's activation mask (if any) shapes what it sees: a
+// SendAll reaches only live neighbors, so every probe is relative to the
+// live subgraph.
+func program(matchedEdge []int32, probeLen int, rep *Report) func(*dist.Node) {
+	return func(nd *dist.Node) {
 		me := matchedEdge[nd.ID()]
 
 		// Round 1: handshake. Everyone tells every neighbor which edge
@@ -76,11 +98,13 @@ func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64)
 		nd.SendAll(edgeClaim{edge: me})
 		bad := false
 		if me != -1 {
-			// My edge must be incident to me.
+			// My edge must be incident to me — and live: a dead matched
+			// edge cannot be caught by the cross-check below, because no
+			// message crosses it.
 			found := false
 			for p := 0; p < nd.Deg(); p++ {
 				if int32(nd.EdgeID(p)) == me {
-					found = true
+					found = nd.EdgeLive(p)
 				}
 			}
 			if !found {
@@ -146,6 +170,5 @@ func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64)
 		if nd.ID() == 0 && !found {
 			rep.ShortestAug = -1
 		}
-	})
-	return rep, stats
+	}
 }

@@ -77,53 +77,59 @@ func GeneralMCMWithConfig(g *graph.Graph, k int, cfg dist.Config, opts GeneralOp
 	}
 	matchedEdge := make([]int32, g.N())
 	stats := dist.Run(g, cfg, func(nd *dist.Node) {
-		st := &MatchState{MatchedPort: -1}
-		nbrRed := make([]bool, nd.Deg())
-		nbrIn := make([]bool, nd.Deg())
-		idle := 0
-		for it := 0; it < iters; it++ {
-			// Line 3: each node colors itself red or blue with equal
-			// probability, and exchanges colors.
-			red := nd.Rand().Bool()
-			nd.SendAll(colorMsg{red})
-			for _, m := range nd.Step() {
-				nbrRed[m.Port] = m.Msg.(colorMsg).red
-			}
-			// Line 4: V̂ membership = free, or matched bichromatically.
-			inVhat := st.MatchedPort == -1 || nbrRed[st.MatchedPort] != red
-			nd.SendAll(memberMsg{inVhat})
-			for _, m := range nd.Step() {
-				nbrIn[m.Port] = m.Msg.(memberMsg).in
-			}
-			active := func(p int) bool { return inVhat && nbrIn[p] && nbrRed[p] != red }
-			side := 0 // red nodes act as X
-			if !red {
-				side = 1
-			}
-			// Line 5-6: maximal augmentation of length ≤ 2k−1 inside Ĝ.
-			var changed bool
-			if opts.StrictCapacityBits > 0 {
-				changed = runPhasesStrict(nd, st, side, inVhat, active, k, opts.Oracle, opts.StrictCapacityBits)
-			} else {
-				changed = runPhases(nd, st, side, inVhat, active, k, opts.Oracle)
-			}
+		generalProgram(nd, k, iters, opts, matchedEdge)
+	})
+	return graph.CollectMatching(g, matchedEdge), stats
+}
 
-			if opts.IdleStop > 0 {
-				_, any := nd.StepOr(changed)
-				if any {
-					idle = 0
-				} else {
-					idle++
-					if idle >= opts.IdleStop {
-						break
-					}
+// generalProgram is Algorithm 4's blocking node program, shared by the
+// fresh entry point above and the batch GeneralMCMSeeds.
+func generalProgram(nd *dist.Node, k, iters int, opts GeneralOptions, matchedEdge []int32) {
+	st := &MatchState{MatchedPort: -1}
+	nbrRed := make([]bool, nd.Deg())
+	nbrIn := make([]bool, nd.Deg())
+	idle := 0
+	for it := 0; it < iters; it++ {
+		// Line 3: each node colors itself red or blue with equal
+		// probability, and exchanges colors.
+		red := nd.Rand().Bool()
+		nd.SendAll(colorMsg{red})
+		for _, m := range nd.Step() {
+			nbrRed[m.Port] = m.Msg.(colorMsg).red
+		}
+		// Line 4: V̂ membership = free, or matched bichromatically.
+		inVhat := st.MatchedPort == -1 || nbrRed[st.MatchedPort] != red
+		nd.SendAll(memberMsg{inVhat})
+		for _, m := range nd.Step() {
+			nbrIn[m.Port] = m.Msg.(memberMsg).in
+		}
+		active := func(p int) bool { return inVhat && nbrIn[p] && nbrRed[p] != red }
+		side := 0 // red nodes act as X
+		if !red {
+			side = 1
+		}
+		// Line 5-6: maximal augmentation of length ≤ 2k−1 inside Ĝ.
+		var changed bool
+		if opts.StrictCapacityBits > 0 {
+			changed = runPhasesStrict(nd, st, side, inVhat, active, k, opts.Oracle, opts.StrictCapacityBits)
+		} else {
+			changed = runPhases(nd, st, side, inVhat, active, k, opts.Oracle)
+		}
+
+		if opts.IdleStop > 0 {
+			_, any := nd.StepOr(changed)
+			if any {
+				idle = 0
+			} else {
+				idle++
+				if idle >= opts.IdleStop {
+					break
 				}
 			}
 		}
-		matchedEdge[nd.ID()] = -1
-		if st.MatchedPort >= 0 {
-			matchedEdge[nd.ID()] = int32(nd.EdgeID(st.MatchedPort))
-		}
-	})
-	return graph.CollectMatching(g, matchedEdge), stats
+	}
+	matchedEdge[nd.ID()] = -1
+	if st.MatchedPort >= 0 {
+		matchedEdge[nd.ID()] = int32(nd.EdgeID(st.MatchedPort))
+	}
 }

@@ -69,6 +69,11 @@
 // For many short runs on one graph (seed sweeps, per-slot schedules),
 // Runner (runner.go) amortizes engine setup — slabs, dest tables, the
 // worker pool — across runs, bit-identical to fresh Run/RunFlat calls.
+// A Runner's topology is also mutable between runs (mutable.go): an
+// edge activation mask (dead edges drop all traffic in the send path,
+// so any protocol runs as if on the live subgraph) and a weight overlay
+// turn the fixed CSR slab into a mutable arc set — the substrate of
+// internal/dynamic's incremental matching maintainer.
 //
 // # Execution model
 //

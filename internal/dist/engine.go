@@ -117,8 +117,26 @@ func (nd *Node) NbrID(p int) int { return int(nd.eng.nbr[nd.base+int32(p)]) }
 // EdgeID returns the global undirected edge id behind port p.
 func (nd *Node) EdgeID(p int) int { return int(nd.eng.eid[nd.base+int32(p)]) }
 
-// EdgeWeight returns the weight of the edge behind port p.
-func (nd *Node) EdgeWeight(p int) float64 { return nd.eng.g.Weight(nd.EdgeID(p)) }
+// EdgeWeight returns the weight of the edge behind port p: the graph's
+// own weight, unless the engine carries a mutable weight overlay (see
+// Runner.SetEdgeWeight).
+func (nd *Node) EdgeWeight(p int) float64 {
+	if w := nd.eng.weights; w != nil {
+		return w[nd.EdgeID(p)]
+	}
+	return nd.eng.g.Weight(nd.EdgeID(p))
+}
+
+// EdgeLive reports whether the edge behind port p is active under the
+// engine's activation mask (see Runner.SetEdgeLive). Without a mask every
+// edge is live. Sends on dead edges are dropped by the engine, so a
+// protocol that never inspects the mask still executes exactly as if the
+// dead edges were absent from the topology; EdgeLive is for protocols
+// that want to skip the work of composing a message at all.
+func (nd *Node) EdgeLive(p int) bool {
+	lv := nd.eng.liveEdge
+	return lv == nil || lv[nd.eng.eid[nd.base+int32(p)]]
+}
 
 // Side returns this node's bipartition side (0 = X, 1 = Y); it panics on a
 // non-bipartite graph, like graph.Side.
@@ -136,6 +154,8 @@ func (nd *Node) Rand() *rng.Rand { return &nd.eng.rnds[nd.id] }
 
 // Send buffers msg for delivery on port p at the end of this round. A
 // second Send on the same port in the same round overwrites the first.
+// A send on a dead edge (see Runner.SetEdgeLive) is silently dropped and
+// charges no traffic: under an activation mask the link does not exist.
 func (nd *Node) Send(p int, msg Message) {
 	if uint32(p) >= uint32(nd.deg) {
 		panic(fmt.Sprintf("dist: node %d Send on port %d, degree %d", nd.id, p, nd.deg))
@@ -144,11 +164,15 @@ func (nd *Node) Send(p int, msg Message) {
 		panic("dist: Send of nil message")
 	}
 	e := nd.eng
+	if lv := e.liveEdge; lv != nil && !lv[e.eid[nd.base+int32(p)]] {
+		return
+	}
 	e.nxt[e.dest[nd.base+int32(p)]] = msg
 	nd.account(msg.Bits(), 1)
 }
 
-// SendAll buffers msg on every port.
+// SendAll buffers msg on every live port (every port when no activation
+// mask is installed).
 func (nd *Node) SendAll(msg Message) {
 	deg := int(nd.deg)
 	if deg == 0 {
@@ -160,6 +184,20 @@ func (nd *Node) SendAll(msg Message) {
 	e := nd.eng
 	nxt := e.nxt
 	dest := e.dest[nd.base : int(nd.base)+deg]
+	if lv := e.liveEdge; lv != nil {
+		eid := e.eid[nd.base : int(nd.base)+deg]
+		sent := 0
+		for i, d := range dest {
+			if lv[eid[i]] {
+				nxt[d] = msg
+				sent++
+			}
+		}
+		if sent > 0 {
+			nd.account(msg.Bits(), sent)
+		}
+		return
+	}
 	for _, d := range dest {
 		nxt[d] = msg
 	}
@@ -343,6 +381,14 @@ type engine struct {
 	// mailbox slot it delivers into.
 	nbr, eid []int32
 	dest     []int32
+
+	// Mutable topology overlay (see mutable.go), allocated lazily by the
+	// Runner mutation API and persistent across Runner resets. liveEdge
+	// masks the arc set (nil ⇒ every edge live; sends on dead edges are
+	// dropped); weights overrides the graph's edge weights (nil ⇒ read
+	// the graph).
+	liveEdge []bool
+	weights  []float64
 
 	// Double-buffered mailboxes, one slot per directed arc. Programs read
 	// cur (clearing their own slots) and write nxt; the barrier swaps.

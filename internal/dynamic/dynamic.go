@@ -1,0 +1,160 @@
+// Package dynamic maintains an approximate matching over a mutable graph
+// incrementally: instead of recomputing from scratch after every change —
+// the way the paper's motivating crossbar switch rebuilds its schedule
+// each time slot even though the demand graph differs only by a handful
+// of arrivals and departures — a Maintainer holds the matching, applies
+// batched edge updates (insert, delete, weight change) to a fixed CSR
+// slab through dist.Runner's mutable-topology overlay, and repairs only
+// the region the batch could have affected.
+//
+// The repair policy follows the locality of the paper's machinery: an
+// augmenting path of length ≤ 2k−1 that a batch creates must pass through
+// an endpoint of a touched edge, so re-running the §3.2 phases
+// (core.RepairBipartite) on the ≤(2k−1)-hop neighborhood of the touched
+// endpoints — with the rest of the matching frozen — restores "no short
+// augmenting path" within that region. What regional repair cannot see
+// are augmenting paths that cross the frozen boundary; those can only
+// accumulate slowly, and a periodic certificate audit (internal/check's
+// Berge probe, run mask-aware through the same engine) catches them: if
+// any augmenting path of length ≤ 2k−1 survives globally, the Maintainer
+// recomputes in full, restoring the certified (1−1/k) factor (Lemma 3.5).
+//
+// This turns the paper's one-shot solver into a serving loop: the engine,
+// its slabs and its worker pool persist across updates, and each batch
+// pays for its locality, not for the graph.
+package dynamic
+
+import "distmatch/internal/dist"
+
+// Op is the kind of one edge update.
+type Op uint8
+
+const (
+	// Insert activates an edge of the slab (a no-op if already live).
+	// Update.Weight, when nonzero, also sets the edge weight.
+	Insert Op = iota
+	// Delete deactivates an edge (a no-op if already dead). Deleting a
+	// matched edge unmatches its endpoints; the repair re-matches them
+	// if the region allows.
+	Delete
+	// SetWeight changes an edge's weight without touching its liveness.
+	// Cardinality maintenance ignores weights; read them back through
+	// Maintainer.Weight (by slab edge id) or LiveGraph (which carries
+	// the overlay weights, on re-numbered live edges). The slab Graph
+	// itself is immutable, so Matching().Weight against it reports the
+	// original construction weights.
+	SetWeight
+)
+
+func (o Op) String() string {
+	switch o {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case SetWeight:
+		return "setweight"
+	}
+	return "op?"
+}
+
+// Update is one edge mutation, addressed by the edge's id in the slab
+// graph the Maintainer was built over.
+type Update struct {
+	Edge   int
+	Op     Op
+	Weight float64 // Insert (nonzero ⇒ set) and SetWeight
+}
+
+// Batch is an ordered list of updates applied atomically by Apply: the
+// repair runs once, over the union of the batch's touched regions.
+type Batch []Update
+
+// Options configures a Maintainer.
+type Options struct {
+	// K is the approximation target: audited matchings are (1−1/K)-
+	// approximate on the live subgraph. Default 3.
+	K int
+	// Seed roots all randomness; identical seeds and update sequences
+	// replay bit-identically. Default 1.
+	Seed uint64
+	// AuditEvery runs the certificate audit every that many Apply calls
+	// (an audit also runs on demand via Audit). 0 means the default 16;
+	// negative disables periodic audits.
+	AuditEvery int
+	// MaxRegionFrac falls back to a full-graph repair when the dirty
+	// region exceeds this fraction of the nodes — beyond it the locality
+	// win is gone and one pass is cheaper than bookkeeping. 0 means the
+	// default 0.5.
+	MaxRegionFrac float64
+	// StartEmpty begins with every edge of the slab dead, the natural
+	// state for demand-driven topologies (switch VOQs start empty).
+	StartEmpty bool
+	// AlwaysRecompute disables incremental repair: every Apply — empty
+	// deltas included — discards the matching and solves the live
+	// subgraph cold. This is the per-batch-recompute baseline the
+	// incremental policy is measured against (experiment E14); it is
+	// exposed so the comparison runs through identical plumbing.
+	AlwaysRecompute bool
+	// Budgeted switches the repair phases from the convergence oracle to
+	// the paper's fixed w.h.p. budgets.
+	Budgeted bool
+	// Workers and Backend configure the underlying engine.
+	Workers int
+	Backend dist.Backend
+}
+
+func (o Options) withDefaults() Options {
+	if o.K < 1 {
+		o.K = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.AuditEvery == 0 {
+		o.AuditEvery = 16
+	}
+	if o.MaxRegionFrac <= 0 {
+		o.MaxRegionFrac = 0.5
+	}
+	return o
+}
+
+// ApplyReport describes what one Apply did.
+type ApplyReport struct {
+	// Touched is the number of dirty nodes the batch produced (endpoints
+	// of edges whose liveness changed, plus endpoints freed by deleting
+	// a matched edge). Zero means the batch needed no repair.
+	Touched int
+	// RegionNodes is the size of the repaired region (the whole graph
+	// when Recomputed).
+	RegionNodes int
+	// Recomputed reports that the repair ran over the full graph — the
+	// region overflowed MaxRegionFrac, AlwaysRecompute is set, or a
+	// failed audit forced it.
+	Recomputed bool
+	// Audited and CertificateOK report the periodic certificate audit:
+	// whether one ran, and whether it found no augmenting path of length
+	// ≤ 2K−1 (after a failed audit the Maintainer recomputes and
+	// CertificateOK reports the post-recompute re-audit).
+	Audited       bool
+	CertificateOK bool
+	// Rounds and Messages aggregate the engine cost of everything this
+	// Apply ran (repairs, audits, recomputes).
+	Rounds   int64
+	Messages int64
+}
+
+// Totals aggregates a Maintainer's lifetime costs, the numbers experiment
+// E14 amortizes.
+type Totals struct {
+	Applies       int   // Apply calls
+	Touched       int64 // summed ApplyReport.Touched (≈ 2 × liveness-changed edges)
+	Repairs       int   // regional repairs run
+	Recomputes    int   // full-graph repairs run (fallback, forced, audit)
+	Audits        int   // certificate audits run
+	AuditFailures int   // audits that found a short augmenting path
+	RegionNodes   int64 // summed region sizes over all repairs
+	Rounds        int64 // engine rounds over all runs
+	Messages      int64 // engine messages over all runs
+}

@@ -1,0 +1,326 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"distmatch/internal/check"
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Maintainer holds a (1−1/K)-approximate matching over the live subgraph
+// of a fixed bipartite slab and repairs it incrementally under batched
+// edge updates. It owns a dist.Runner whose engine, mailbox slabs and
+// worker pool persist across every repair, audit and recompute.
+//
+// New leaves the matching empty: either start from an empty arc set
+// (Options.StartEmpty) and grow it with Insert batches, or call
+// Recompute once to match a prepopulated slab. A Maintainer is not safe
+// for concurrent use. Close releases the engine when done.
+type Maintainer struct {
+	g    *graph.Graph
+	r    *dist.Runner
+	opts Options
+
+	live        []bool  // liveness mirror, indexed by edge id
+	matchedEdge []int32 // per-node matched edge id, -1 free
+	repairer    *core.BipartiteRepairer
+	cached      *graph.Matching
+
+	// Scratch for region growing, reused across applies.
+	inRegion []bool
+	dirty    []int32
+	frontier []int32
+	scratch  []int32
+
+	runCtr uint64
+	totals Totals
+}
+
+// New builds a Maintainer over the bipartite slab g. The slab fixes the
+// node set and the universe of possible edges; which of them exist at any
+// moment is the Maintainer's activation state.
+func New(g *graph.Graph, opts Options) *Maintainer {
+	if !g.IsBipartite() {
+		panic("dynamic: Maintainer requires a bipartite slab")
+	}
+	opts = opts.withDefaults()
+	mt := &Maintainer{
+		g:           g,
+		r:           dist.NewRunner(g, dist.Config{Workers: opts.Workers, Backend: opts.Backend}),
+		opts:        opts,
+		live:        make([]bool, g.M()),
+		matchedEdge: make([]int32, g.N()),
+		inRegion:    make([]bool, g.N()),
+	}
+	for v := range mt.matchedEdge {
+		mt.matchedEdge[v] = -1
+	}
+	mt.repairer = core.NewBipartiteRepairer(mt.r, mt.matchedEdge, core.RepairOptions{
+		K:       opts.K,
+		Oracle:  !opts.Budgeted,
+		Backend: opts.Backend,
+	})
+	if opts.StartEmpty {
+		mt.r.SetAllEdgesLive(false)
+	} else {
+		for e := range mt.live {
+			mt.live[e] = true
+		}
+	}
+	return mt
+}
+
+// Graph returns the slab.
+func (mt *Maintainer) Graph() *graph.Graph { return mt.g }
+
+// K returns the approximation parameter.
+func (mt *Maintainer) K() int { return mt.opts.K }
+
+// Live reports whether slab edge e is currently active.
+func (mt *Maintainer) Live(e int) bool { return mt.live[e] }
+
+// Weight returns the current weight of slab edge e.
+func (mt *Maintainer) Weight(e int) float64 { return mt.r.EdgeWeight(e) }
+
+// Totals returns the lifetime cost aggregates.
+func (mt *Maintainer) Totals() Totals { return mt.totals }
+
+// Close releases the underlying engine. Further use panics.
+func (mt *Maintainer) Close() { mt.r.Close() }
+
+// Matching returns the maintained matching (over the slab's node ids;
+// every matched edge is live). The value is cached until the next Apply
+// or Recompute and must be treated as read-only.
+func (mt *Maintainer) Matching() *graph.Matching {
+	if mt.cached == nil {
+		mt.cached = graph.CollectMatching(mt.g, mt.matchedEdge)
+	}
+	return mt.cached
+}
+
+// LiveGraph materializes the current live subgraph (with current
+// weights) as a fresh immutable Graph on the slab's node ids — the form
+// the centralized exact references take for spot audits.
+func (mt *Maintainer) LiveGraph() *graph.Graph { return mt.r.LiveSubgraph() }
+
+// Apply applies one batch of updates and repairs the matching. The
+// touched region — endpoints of edges whose liveness changed, grown
+// 2K−1 hops over live edges and closed under matching edges — is re-run
+// through the paper's phase machinery with the rest frozen; the repair
+// escalates to a full pass when the region stops being local
+// (MaxRegionFrac) and a periodic certificate audit (every AuditEvery
+// applies) recomputes whenever a short augmenting path survived
+// globally, keeping audited states (1−1/K)-approximate.
+func (mt *Maintainer) Apply(b Batch) ApplyReport {
+	mt.totals.Applies++
+	var rep ApplyReport
+
+	// Validate the whole batch before mutating anything: Apply is
+	// atomic, so a bad update must not leave a half-applied topology.
+	for _, u := range b {
+		if u.Edge < 0 || u.Edge >= mt.g.M() {
+			panic(fmt.Sprintf("dynamic: update on edge %d outside slab [0,%d)", u.Edge, mt.g.M()))
+		}
+		if u.Op > SetWeight {
+			panic(fmt.Sprintf("dynamic: unknown op %d", u.Op))
+		}
+	}
+	mt.dirty = mt.dirty[:0]
+	for _, u := range b {
+		switch u.Op {
+		case Insert:
+			if u.Weight != 0 {
+				mt.r.SetEdgeWeight(u.Edge, u.Weight)
+			}
+			if !mt.live[u.Edge] {
+				mt.live[u.Edge] = true
+				mt.r.SetEdgeLive(u.Edge, true)
+				mt.markDirty(u.Edge)
+			}
+		case Delete:
+			if mt.live[u.Edge] {
+				mt.live[u.Edge] = false
+				mt.r.SetEdgeLive(u.Edge, false)
+				x, y := mt.g.Endpoints(u.Edge)
+				if mt.matchedEdge[x] == int32(u.Edge) {
+					mt.matchedEdge[x], mt.matchedEdge[y] = -1, -1
+				}
+				mt.markDirty(u.Edge)
+			}
+		case SetWeight:
+			mt.r.SetEdgeWeight(u.Edge, u.Weight)
+		}
+	}
+	rep.Touched = len(mt.dirty)
+	mt.totals.Touched += int64(rep.Touched)
+
+	switch {
+	case mt.opts.AlwaysRecompute:
+		// The measurement baseline: a cold solve on every Apply — empty
+		// deltas included — exactly what a per-slot BipartiteMCM pays
+		// (minus engine setup, which the shared Runner amortizes for
+		// both policies).
+		for v := range mt.matchedEdge {
+			mt.matchedEdge[v] = -1
+		}
+		mt.cached = nil
+		mt.repair(nil, 0, &rep)
+	case len(mt.dirty) == 0:
+		// Nothing structural changed: the matching stands as is.
+	default:
+		mt.cached = nil
+		if count := mt.growRegion(); float64(count) > mt.opts.MaxRegionFrac*float64(mt.g.N()) {
+			// Region overflow: one warm full-graph pass beats regional
+			// bookkeeping, and the current matching stays as the seed.
+			mt.repair(nil, 0, &rep)
+		} else {
+			mt.repair(mt.inRegion, count, &rep)
+		}
+	}
+
+	if mt.opts.AuditEvery > 0 && mt.totals.Applies%mt.opts.AuditEvery == 0 {
+		mt.audit(&rep)
+	}
+	return rep
+}
+
+// Recompute discards the matching and solves the live subgraph from
+// scratch — the certified reset the audit path falls back to.
+func (mt *Maintainer) Recompute() ApplyReport {
+	for v := range mt.matchedEdge {
+		mt.matchedEdge[v] = -1
+	}
+	mt.cached = nil
+	var rep ApplyReport
+	mt.repair(nil, 0, &rep)
+	return rep
+}
+
+// Audit runs the certificate audit now (regardless of cadence),
+// recomputing if it fails, and reports what happened.
+func (mt *Maintainer) Audit() ApplyReport {
+	var rep ApplyReport
+	mt.audit(&rep)
+	return rep
+}
+
+// markDirty records both endpoints of a liveness-changed edge.
+func (mt *Maintainer) markDirty(e int) {
+	x, y := mt.g.Endpoints(e)
+	mt.dirty = append(mt.dirty, int32(x), int32(y))
+}
+
+// growRegion computes inRegion: the ≤(2K−1)-hop ball around the dirty nodes
+// over live edges, closed under matching edges so no frozen node can be
+// separated from its mate. Returns the region size.
+func (mt *Maintainer) growRegion() int {
+	g := mt.g
+	in := mt.inRegion
+	clear(in)
+	count := 0
+	frontier := mt.frontier[:0]
+	for _, v := range mt.dirty {
+		if !in[v] {
+			in[v] = true
+			count++
+			frontier = append(frontier, v)
+		}
+	}
+	// A new augmenting path of length ≤ 2K−1 must pass through a touched
+	// node, so every node of it lies within 2K−1 hops of one.
+	depth := 2*mt.opts.K - 1
+	next := mt.scratch[:0]
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, v := range frontier {
+			for p := 0; p < g.Deg(int(v)); p++ {
+				if !mt.live[g.EdgeAt(int(v), p)] {
+					continue
+				}
+				u := int32(g.NbrAt(int(v), p))
+				if !in[u] {
+					in[u] = true
+					count++
+					next = append(next, u)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	mt.frontier, mt.scratch = frontier[:0], next[:0]
+	// Mate closure: a region node matched across the boundary pulls its
+	// mate in (one pass suffices — a mate's mate is the node itself).
+	for v := 0; v < g.N(); v++ {
+		if in[v] && mt.matchedEdge[v] >= 0 {
+			u := g.Other(int(mt.matchedEdge[v]), v)
+			if !in[u] {
+				in[u] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// repair runs the phase machinery over region (nil = full graph, with
+// regionNodes its precomputed size from growRegion) and folds the cost
+// into rep and the totals.
+func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
+	st := mt.repairer.Repair(mt.nextSeed(), region)
+	mt.cached = nil
+	nodes := mt.g.N()
+	if region != nil {
+		nodes = regionNodes
+		mt.totals.Repairs++
+	} else {
+		mt.totals.Recomputes++
+		rep.Recomputed = true
+	}
+	rep.RegionNodes = nodes
+	mt.totals.RegionNodes += int64(nodes)
+	mt.addCost(rep, st)
+}
+
+// audit runs the mask-aware Berge probe; on a failed certificate it
+// recomputes from the current matching and re-audits.
+func (mt *Maintainer) audit(rep *ApplyReport) {
+	rep.Audited = true
+	probe := 2*mt.opts.K - 1
+	r, st := check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	mt.totals.Audits++
+	mt.addCost(rep, st)
+	if !r.Valid {
+		panic("dynamic: audit found an inconsistent matching (maintainer invariant broken)")
+	}
+	rep.CertificateOK = r.ShortestAug == -1
+	if rep.CertificateOK {
+		return
+	}
+	// Certificate degraded: boundary-crossing augmenting paths
+	// accumulated past the target. Repair globally (warm start from the
+	// current matching) and re-certify.
+	mt.totals.AuditFailures++
+	mt.repair(nil, 0, rep)
+	r, st = check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	mt.totals.Audits++
+	mt.addCost(rep, st)
+	if !r.Valid {
+		panic("dynamic: post-recompute audit found an inconsistent matching")
+	}
+	rep.CertificateOK = r.ShortestAug == -1
+}
+
+func (mt *Maintainer) addCost(rep *ApplyReport, st *dist.Stats) {
+	rep.Rounds += int64(st.Rounds)
+	rep.Messages += st.Messages
+	mt.totals.Rounds += int64(st.Rounds)
+	mt.totals.Messages += st.Messages
+}
+
+func (mt *Maintainer) nextSeed() uint64 {
+	mt.runCtr++
+	return rng.ForkSeed(mt.opts.Seed, mt.runCtr)
+}

@@ -1,0 +1,173 @@
+package dynamic
+
+import (
+	"testing"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// slab44 is a complete bipartite 4x4 slab (X = 0..3, Y = 4..7); edge ids
+// are i*4+j for the (i, 4+j) pair (builder sort order).
+func slab44() *graph.Graph {
+	b := graph.NewBuilder(8)
+	for v := 0; v < 4; v++ {
+		b.SetSide(v, 0)
+		b.SetSide(4+v, 1)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b.AddEdge(i, 4+j)
+		}
+	}
+	return b.MustBuild()
+}
+
+func eid(i, j int) int { return i*4 + j }
+
+func TestMaintainerInsertGrow(t *testing.T) {
+	mt := New(slab44(), Options{K: 3, Seed: 5, StartEmpty: true})
+	defer mt.Close()
+
+	rep := mt.Apply(Batch{{Edge: eid(0, 0), Op: Insert}, {Edge: eid(1, 1), Op: Insert}})
+	if rep.Touched == 0 || rep.RegionNodes == 0 {
+		t.Fatalf("no repair ran: %+v", rep)
+	}
+	if got := mt.Matching().Size(); got != 2 {
+		t.Fatalf("size = %d after two disjoint inserts, want 2", got)
+	}
+
+	// A conflicting insert cannot grow the matching; a completing one can.
+	mt.Apply(Batch{{Edge: eid(2, 0), Op: Insert}})
+	if got := mt.Matching().Size(); got != 2 {
+		t.Fatalf("size = %d, want still 2", got)
+	}
+	mt.Apply(Batch{{Edge: eid(2, 2), Op: Insert}, {Edge: eid(3, 3), Op: Insert}})
+	if got := mt.Matching().Size(); got != 4 {
+		t.Fatalf("size = %d, want perfect 4", got)
+	}
+	if err := mt.Matching().Verify(mt.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainerDeleteMatched(t *testing.T) {
+	mt := New(slab44(), Options{K: 2, Seed: 1, StartEmpty: true})
+	defer mt.Close()
+	// Build the 2-path X0-Y0 plus the alternative X0-Y1.
+	mt.Apply(Batch{{Edge: eid(0, 0), Op: Insert}, {Edge: eid(0, 1), Op: Insert}})
+	if mt.Matching().Size() != 1 {
+		t.Fatalf("size = %d, want 1", mt.Matching().Size())
+	}
+	matched := mt.Matching().MatchedEdge(0)
+	// Delete whichever edge is matched: the repair must swing to the other.
+	mt.Apply(Batch{{Edge: matched, Op: Delete}})
+	m := mt.Matching()
+	if m.Size() != 1 {
+		t.Fatalf("size = %d after deleting matched edge, want 1 (rematch)", m.Size())
+	}
+	if m.MatchedEdge(0) == matched {
+		t.Fatal("matching still uses the deleted edge")
+	}
+	if !mt.Live(m.MatchedEdge(0)) {
+		t.Fatal("matched edge is dead")
+	}
+}
+
+func TestMaintainerDeterministicReplay(t *testing.T) {
+	run := func() ([]int, Totals) {
+		mt := New(slab44(), Options{K: 2, Seed: 99, StartEmpty: true, AuditEvery: 3})
+		defer mt.Close()
+		r := rng.New(7)
+		var sizes []int
+		for step := 0; step < 30; step++ {
+			e := r.Intn(16)
+			if mt.Live(e) {
+				mt.Apply(Batch{{Edge: e, Op: Delete}})
+			} else {
+				mt.Apply(Batch{{Edge: e, Op: Insert, Weight: float64(step)}})
+			}
+			sizes = append(sizes, mt.Matching().Size())
+		}
+		return sizes, mt.Totals()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("totals diverge: %+v vs %+v", t1, t2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("replay diverges at step %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestMaintainerWeightsFlowThrough(t *testing.T) {
+	mt := New(slab44(), Options{K: 2, Seed: 3, StartEmpty: true})
+	defer mt.Close()
+	mt.Apply(Batch{{Edge: eid(1, 2), Op: Insert, Weight: 4.5}})
+	if w := mt.Weight(eid(1, 2)); w != 4.5 {
+		t.Fatalf("Weight = %v, want 4.5", w)
+	}
+	mt.Apply(Batch{{Edge: eid(1, 2), Op: SetWeight, Weight: 9}})
+	if w := mt.Weight(eid(1, 2)); w != 9 {
+		t.Fatalf("Weight = %v after SetWeight, want 9", w)
+	}
+	lg := mt.LiveGraph()
+	if lg.M() != 1 || lg.Weight(lg.EdgeBetween(1, 6)) != 9 {
+		t.Fatalf("LiveGraph = %v, want single edge (1,6) at weight 9", lg)
+	}
+	if mt.Matching().Weight(mt.Graph()) == 9 {
+		// Matching weight is read off the slab graph; the overlay is
+		// visible via Weight/LiveGraph. Just ensure it's matched.
+		if mt.Matching().Size() != 1 {
+			t.Fatal("single live edge unmatched")
+		}
+	}
+}
+
+func TestMaintainerRecompute(t *testing.T) {
+	g := gen.BipartiteGnp(rng.New(11), 16, 16, 0.2)
+	mt := New(g, Options{K: 3, Seed: 2})
+	defer mt.Close()
+	if mt.Matching().Size() != 0 {
+		t.Fatal("fresh maintainer should start with an empty matching")
+	}
+	rep := mt.Recompute()
+	if !rep.Recomputed || rep.RegionNodes != g.N() {
+		t.Fatalf("Recompute report %+v", rep)
+	}
+	a := mt.Audit()
+	if !a.Audited || !a.CertificateOK {
+		t.Fatalf("post-Recompute audit failed: %+v", a)
+	}
+	if err := mt.Matching().Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainerRegionOverflowRecomputes(t *testing.T) {
+	g := gen.BipartiteGnp(rng.New(21), 12, 12, 0.4)
+	mt := New(g, Options{K: 3, Seed: 2, MaxRegionFrac: 0.05, AuditEvery: -1})
+	defer mt.Close()
+	// Deleting any edge dirties a region far larger than 5% of a dense
+	// graph: the apply must escalate to a full repair.
+	rep := mt.Apply(Batch{{Edge: 0, Op: Delete}})
+	if !rep.Recomputed {
+		t.Fatalf("expected region overflow to recompute: %+v", rep)
+	}
+}
+
+func TestMaintainerAlwaysRecompute(t *testing.T) {
+	mt := New(slab44(), Options{K: 2, Seed: 1, StartEmpty: true, AlwaysRecompute: true})
+	defer mt.Close()
+	rep := mt.Apply(Batch{{Edge: eid(0, 0), Op: Insert}})
+	if !rep.Recomputed || rep.RegionNodes != 8 {
+		t.Fatalf("AlwaysRecompute apply %+v", rep)
+	}
+	if mt.Totals().Repairs != 0 || mt.Totals().Recomputes != 1 {
+		t.Fatalf("totals %+v", mt.Totals())
+	}
+}

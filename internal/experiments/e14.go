@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distmatch/internal/exact"
+	"distmatch/internal/rng"
+	"distmatch/internal/stats"
+	"distmatch/internal/switchsched"
+)
+
+// E14Dynamic measures the dynamic subsystem on its motivating workload:
+// crossbar switch scheduling, where consecutive slots differ only by the
+// VOQs that emptied or received their first packet. Two maintainers see
+// the same arrival stream through identical plumbing (one shared engine
+// each, the same slab, the same phase machinery): the incremental one
+// repairs the ≤2k-hop region of the per-slot delta warm from the
+// previous matching, the baseline solves cold from scratch every slot —
+// the cost a per-slot core.BipartiteMCM pays. The table reports the
+// amortized per-slot rounds/messages of both, their ratio, and the exact
+// approximation ratio at every audited slot (which must stay ≥ 1−1/k:
+// the certificate triggers a recompute whenever a short augmenting path
+// survives globally). scripts/bench_compare.sh records the wall-clock
+// twin of this pair into BENCH_pr4.json.
+func E14Dynamic(cfg Config) *stats.Table {
+	t := stats.NewTable("E14 · dynamic maintainer — amortized repair vs per-slot recompute",
+		"arrival", "k", "Δedges/slot", "region/repair",
+		"rounds/slot incr|full", "msgs/slot incr|full", "speedup", "audits(fail)",
+		"minRatio@audit", "want>=")
+	n := cfg.pick(8, 16)
+	slots := cfg.pick(600, 4000)
+	load := 0.95
+	type workload struct {
+		arr switchsched.Arrival
+		k   int
+	}
+	for _, w := range []workload{
+		{switchsched.Uniform{}, 2},
+		{switchsched.Diagonal{}, 2},
+		{switchsched.Diagonal{}, 3},
+		{&switchsched.Bursty{MeanBurst: 16}, 2},
+	} {
+		r := dynSwitchRun(w.arr, n, slots, w.k, load, cfg.Seed+14)
+		t.Add(w.arr.Name(), w.k,
+			fmt.Sprintf("%.2f", r.deltaPerSlot),
+			fmt.Sprintf("%.1f", r.regionPerRepair),
+			fmt.Sprintf("%.1f|%.1f", r.incRounds, r.fullRounds),
+			fmt.Sprintf("%.0f|%.0f", r.incMsgs, r.fullMsgs),
+			fmt.Sprintf("%.2f", r.fullRounds/r.incRounds),
+			fmt.Sprintf("%d(%d)", r.audits, r.auditFailures),
+			fmt.Sprintf("%.3f", r.minRatio),
+			1-1/float64(w.k))
+	}
+	return t
+}
+
+type dynRow struct {
+	deltaPerSlot    float64
+	regionPerRepair float64
+	incRounds       float64
+	fullRounds      float64
+	incMsgs         float64
+	fullMsgs        float64
+	audits          int
+	auditFailures   int
+	minRatio        float64
+}
+
+// dynSwitchRun drives one VOQ evolution: arrivals, incremental schedule,
+// a cost-only cold-recompute schedule of the same slot state, then
+// departures along the incremental matching.
+func dynSwitchRun(arr switchsched.Arrival, n, slots, k int, load float64, seed uint64) dynRow {
+	inc := &switchsched.DynMCM{K: k, Seed: seed + 101, AuditEvery: 16}
+	full := &switchsched.DynMCM{K: k, Seed: seed + 202, Recompute: true, AuditEvery: -1}
+	defer inc.Close()
+	defer full.Close()
+
+	arrR := rng.New(seed + 1)
+	loadR := rng.New(seed + 2)
+	incR := rng.New(seed + 3)
+	fullR := rng.New(seed + 4)
+
+	q := &switchsched.Queues{N: n, Len: make([][]int, n)}
+	for i := range q.Len {
+		q.Len[i] = make([]int, n)
+	}
+	dest := make([]int, n)
+
+	row := dynRow{minRatio: 1}
+	for slot := 0; slot < slots; slot++ {
+		arr.Gen(n, arrR, dest)
+		for i := 0; i < n; i++ {
+			if dest[i] >= 0 && loadR.Float64() < load {
+				q.Len[i][dest[i]]++
+			}
+		}
+		out := inc.Schedule(q, incR)
+		full.Schedule(q, fullR) // cost baseline on the identical slot state
+		if inc.LastReport.Audited {
+			row.audits++
+			live := inc.Maintainer().LiveGraph()
+			opt := exact.MaxCardinality(live).Size()
+			ratio := 1.0
+			if opt > 0 {
+				ratio = float64(inc.Maintainer().Matching().Size()) / float64(opt)
+			}
+			if ratio < row.minRatio {
+				row.minRatio = ratio
+			}
+		}
+		for i := 0; i < n; i++ {
+			if j := out[i]; j >= 0 && q.Len[i][j] > 0 {
+				q.Len[i][j]--
+			}
+		}
+	}
+	ti := inc.Maintainer().Totals()
+	tf := full.Maintainer().Totals()
+	row.auditFailures = ti.AuditFailures
+	row.deltaPerSlot = float64(ti.Touched) / 2 / float64(slots)
+	if reps := ti.Repairs + ti.Recomputes; reps > 0 {
+		row.regionPerRepair = float64(ti.RegionNodes) / float64(reps)
+	}
+	row.incRounds = float64(ti.Rounds) / float64(slots)
+	row.fullRounds = float64(tf.Rounds) / float64(slots)
+	row.incMsgs = float64(ti.Messages) / float64(slots)
+	row.fullMsgs = float64(tf.Messages) / float64(slots)
+	return row
+}

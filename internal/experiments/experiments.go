@@ -1,5 +1,5 @@
 // Package experiments regenerates an empirical table for every theorem,
-// lemma and figure of the paper (the experiment index E1–E13 of DESIGN.md).
+// lemma and figure of the paper (the experiment index E1–E14 of DESIGN.md).
 // cmd/benchtables prints the full tables; the root bench_test.go runs each
 // experiment in Quick mode as a testing.B benchmark; EXPERIMENTS.md records
 // paper-claim versus measured outcome for each.
@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"distmatch/internal/core"
+	"distmatch/internal/dist"
 	"distmatch/internal/exact"
 	"distmatch/internal/gen"
 	"distmatch/internal/graph"
@@ -41,7 +42,7 @@ func All(cfg Config) []*stats.Table {
 		E1Generic(cfg), E2Bipartite(cfg), E3Counting(cfg), E4General(cfg),
 		E5Survival(cfg), E6Weighted(cfg), E7Quarter(cfg), E8Baselines(cfg),
 		E9Switch(cfg), E10MessageBits(cfg), E11LocalSearch(cfg), E12Trees(cfg),
-		E13Variance(cfg),
+		E13Variance(cfg), E14Dynamic(cfg),
 	}
 }
 
@@ -77,26 +78,42 @@ func E1Generic(cfg Config) *stats.Table {
 
 // E2Bipartite measures Theorem 3.8: bipartite (1−1/k)-MCM ratio, the
 // Θ(log n) round scaling at fixed k (with a log-regression fit), and the
-// O(k log Δ + log n) message size.
+// O(k log Δ + log n) message size. Each (n, k) cell is a small seed
+// sweep through core.BipartiteMCMSeeds — one shared engine per instance
+// (the PR-3 batch-runner path extended to the core pipeline) — reporting
+// the sweep's mean ratio and mean rounds.
 func E2Bipartite(cfg Config) *stats.Table {
-	t := stats.NewTable("E2 · Theorem 3.8 — bipartite (1-1/k)-MCM (CONGEST)",
+	t := stats.NewTable("E2 · Theorem 3.8 — bipartite (1-1/k)-MCM (CONGEST, seed-sweep means)",
 		"n(total)", "k", "ratio", "want>=", "rounds", "maxMsgBits", "pipelined@logn")
 	sizes := []int{128, 256, 512}
 	if !cfg.Quick {
 		sizes = []int{128, 256, 512, 1024, 2048, 4096}
 	}
+	sweep := cfg.pick(2, 4)
 	var xs, ys []float64
 	for _, half := range sizes {
 		r := rng.New(cfg.Seed + uint64(half))
 		g := gen.BipartiteGnp(r, half, half, math.Min(1, 4.0/float64(half)))
 		for _, k := range []int{2, 3} {
-			m, st := core.BipartiteMCM(g, k, cfg.Seed+uint64(half*k), true)
+			seeds := make([]uint64, sweep)
+			for i := range seeds {
+				seeds[i] = cfg.Seed + uint64(half*k) + uint64(i)
+			}
+			ms, sts := core.BipartiteMCMSeeds(g, k, dist.Config{}, seeds, true)
+			meanRatio, meanRounds, maxBits := 0.0, 0.0, 0
+			for i, m := range ms {
+				meanRatio += ratioCard(g, m) / float64(sweep)
+				meanRounds += float64(sts[i].Rounds) / float64(sweep)
+				if sts[i].MaxMessageBits > maxBits {
+					maxBits = sts[i].MaxMessageBits
+				}
+			}
 			logn := int(math.Ceil(math.Log2(float64(g.N()))))
-			t.Add(g.N(), k, ratioCard(g, m), 1-1/float64(k), st.Rounds,
-				st.MaxMessageBits, st.PipelinedRounds(logn))
+			t.Add(g.N(), k, meanRatio, 1-1/float64(k), meanRounds,
+				maxBits, sts[0].PipelinedRounds(logn))
 			if k == 3 {
 				xs = append(xs, math.Log2(float64(g.N())))
-				ys = append(ys, float64(st.Rounds))
+				ys = append(ys, meanRounds)
 			}
 		}
 	}
@@ -193,20 +210,32 @@ func greedyMaximal(g *graph.Graph) *graph.Matching {
 // E4General measures Theorem 3.11 / Lemma 3.10: general-graph (1−1/k)-MCM
 // quality, and how many sampling iterations the algorithm actually needs
 // versus the paper's 2^{2k+1}(k+1)·ln k bound (ablation: idle-stop).
+// Each size is a seed sweep through core.GeneralMCMSeeds on one shared
+// engine, reporting sweep means.
 func E4General(cfg Config) *stats.Table {
-	t := stats.NewTable("E4 · Theorem 3.11 — general (1-1/k)-MCM via red/blue sampling",
+	t := stats.NewTable("E4 · Theorem 3.11 — general (1-1/k)-MCM via red/blue sampling (seed-sweep means)",
 		"n", "k", "ratio", "want>=", "rounds", "theoryIters", "idleStop")
 	sizes := []int{32, 64}
 	if !cfg.Quick {
 		sizes = []int{32, 64, 128, 256}
 	}
 	k := 3
+	sweep := cfg.pick(2, 3)
 	for _, n := range sizes {
 		r := rng.New(cfg.Seed + uint64(n) + 4)
 		g := gen.Gnp(r, n, math.Min(1, 3.0/float64(n)))
 		idle := 40
-		m, st := core.GeneralMCM(g, k, cfg.Seed+uint64(n), core.GeneralOptions{Oracle: true, IdleStop: idle})
-		t.Add(n, k, ratioCard(g, m), 1-1/float64(k), st.Rounds, core.TheoryIters(k), idle)
+		seeds := make([]uint64, sweep)
+		for i := range seeds {
+			seeds[i] = cfg.Seed + uint64(n) + uint64(i)
+		}
+		ms, sts := core.GeneralMCMSeeds(g, k, dist.Config{}, seeds, core.GeneralOptions{Oracle: true, IdleStop: idle})
+		meanRatio, meanRounds := 0.0, 0.0
+		for i, m := range ms {
+			meanRatio += ratioCard(g, m) / float64(sweep)
+			meanRounds += float64(sts[i].Rounds) / float64(sweep)
+		}
+		t.Add(n, k, meanRatio, 1-1/float64(k), meanRounds, core.TheoryIters(k), idle)
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -186,10 +187,41 @@ func TestE13(t *testing.T) {
 	}
 }
 
+func TestE14(t *testing.T) {
+	tb := E14Dynamic(quickCfg)
+	checkTable(t, tb, 4)
+	for _, r := range tb.Rows {
+		var speedup float64
+		if _, err := fmt.Sscanf(r[6], "%f", &speedup); err != nil {
+			t.Fatalf("unparseable speedup in %v", r)
+		}
+		if r[0] == "uniform" {
+			// Worst case: ~a third of the demand graph churns per slot,
+			// so incremental repair can only tie full recompute.
+			if speedup < 0.8 {
+				t.Fatalf("uniform-churn speedup %v collapsed: %v", speedup, r)
+			}
+		} else if speedup <= 1.25 {
+			// Persistent-demand regimes are where amortization must show.
+			t.Fatalf("incremental repair not measurably cheaper than recompute: %v", r)
+		}
+		var minRatio, want float64
+		if _, err := fmt.Sscanf(r[8], "%f", &minRatio); err != nil {
+			t.Fatalf("unparseable minRatio in %v", r)
+		}
+		if _, err := fmt.Sscanf(r[9], "%f", &want); err != nil {
+			t.Fatalf("unparseable bound in %v", r)
+		}
+		if minRatio < want-1e-9 {
+			t.Fatalf("audited ratio %v below (1-1/k) bound %v: %v", minRatio, want, r)
+		}
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(quickCfg)
-	if len(tables) != 13 {
-		t.Fatalf("All returned %d tables, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("All returned %d tables, want 14", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {

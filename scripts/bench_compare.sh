@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Records the coroutine-vs-flat backend comparison into BENCH_pr3.json:
-# node-rounds/s per protocol per backend with the flat/coro speedup — now
-# including the core pipeline (BipartiteMCM, GeneralMCM, WeightedMWM) and
-# LocalGreedy pairs added in PR 3 — plus the multi-worker scaling sweep
-# (Config.Workers ∈ {1,2,4,8,16}) and the batch-runner amortization pair.
-# Extends the BENCH trajectory (BENCH_baseline.json, BENCH_pr2.json).
+# Records the backend and batching comparisons into BENCH_pr4.json:
+# node-rounds/s per protocol per backend with the flat/coro speedup
+# (engine round loop, Israeli-Itai, MIS, LPR quarter, the core pipeline
+# and LocalGreedy), the multi-worker scaling sweep (Config.Workers in
+# {1,2,4,8,16}), the batch-runner amortization pair — and, new in PR 4,
+# the dynamic-maintainer pair: ns per switch slot served incrementally
+# (diff + regional repair on one persistent engine) versus the status-quo
+# per-slot recompute (fresh request graph + fresh engine + cold
+# BipartiteMCM). Extends the BENCH trajectory (BENCH_baseline.json,
+# BENCH_pr2.json, BENCH_pr3.json).
 # Run from the repository root: ./scripts/bench_compare.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr3.json
+out=BENCH_pr4.json
 benchtime=${BENCHTIME:-1s}
 
 # The pairs and the worker sweep run as separate invocations: a "/" in a
 # -bench alternation would be treated as a sub-benchmark separator.
 raw=$(go test -run '^$' -benchtime "$benchtime" \
-	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse)$' \
+	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute)$' \
 	. 2>&1)
 raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 	-bench '^(BenchmarkEngineRoundWorkers|BenchmarkEngineRoundFlatWorkers)$/^w[0-9]+$' \
@@ -28,17 +32,19 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 	echo '  "cpus": '"$(nproc)"','
 	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
 	echo '  "benchtime": "'"$benchtime"'",'
-	echo '  "metric": "node-rounds/s",'
-	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends; workers beyond the cpus count measure pure barrier/dispatch overhead. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run.",'
+	echo '  "metric": "node-rounds/s (pairs/scaling), ns/slot (dynamic)",'
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run. dynamic_switch compares one 16-port switch slot under bursty(16) traffic at load 0.95: incremental Maintainer (diff + regional repair, persistent engine) vs per-slot DistMCM (fresh request graph + engine + cold BipartiteMCM); E14 reports the rounds/messages twin of this pair.",'
 	printf '%s\n' "$raw" | awk '
 		/^Benchmark/ {
 			name=$1; sub(/-[0-9]+$/, "", name)
 			rate=0
 			for (i=2; i<NF; i++) if ($(i+1) == "node-rounds/s") rate=$i
 			rates[name]=rate
+			nspop=0
+			for (i=2; i<NF; i++) if ($(i+1) == "ns/op") nspop=$i
+			ns[name]=nspop
 		}
 		END {
-			npair=0
 			pairs["EngineRound"]  = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
 			pairs["IsraeliItai"]  = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
 			pairs["MIS"]          = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
@@ -63,6 +69,10 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 			reuse=rates["BenchmarkRunnerShortReuse"]+0
 			printf "  \"runner_short\": {\"fresh\": %.0f, \"reuse\": %.0f, \"speedup\": %.2f},\n", \
 				fresh, reuse, (fresh > 0 ? reuse/fresh : 0)
+			inc=ns["BenchmarkDynamicSwitchIncremental"]+0
+			full=ns["BenchmarkDynamicSwitchRecompute"]+0
+			printf "  \"dynamic_switch\": {\"incremental_ns_per_slot\": %.0f, \"recompute_ns_per_slot\": %.0f, \"speedup\": %.2f},\n", \
+				inc, full, (inc > 0 ? full/inc : 0)
 			printf "  \"scaling\": [\n"
 			nw=split("1 2 4 8 16", ws, " ")
 			for (k=1; k<=nw; k++) {
