@@ -74,6 +74,10 @@ func BenchmarkE12Trees(b *testing.B) { benchExperiment(b, experiments.E12Trees) 
 // per-slot recompute on the switch workload).
 func BenchmarkE14Dynamic(b *testing.B) { benchExperiment(b, experiments.E14Dynamic) }
 
+// BenchmarkE15Region regenerates E15 (active-set repair cost vs
+// region-fraction sweep).
+func BenchmarkE15Region(b *testing.B) { benchExperiment(b, experiments.E15Region) }
+
 // ---- Dynamic maintainer: amortized per-slot wall cost ----
 //
 // The BENCH_pr4.json pair: one time slot of the 16-port switch under
@@ -123,6 +127,45 @@ func BenchmarkDynamicSwitchIncremental(b *testing.B) {
 func BenchmarkDynamicSwitchRecompute(b *testing.B) {
 	benchSwitchSlots(b, &switchsched.DistMCM{K: 2})
 }
+
+// ---- Region repair: active-set execution vs the PR-4 full sweep ----
+//
+// The BENCH_pr5.json pair and the tentpole number of the active-set PR:
+// one small-batch Apply on a 4096-node slab (2048+2048, 3-regular,
+// fully live, steady-state toggles of 2 edges per slot). The maintainers
+// are identical — same region policy, same repair machinery, bit-
+// identical matchings (TestFuzzDynamicActiveVsFullSweep) — except for
+// the engine schedule: FullSweep steps all 4096 nodes every round the
+// way PR 4 did, active-set execution steps only the repair region, so
+// ns/op (ns per slot) isolates exactly the sweep tax.
+
+func benchRegionRepair(b *testing.B, fullSweep bool) {
+	b.Helper()
+	g := gen.BipartiteRegular(rng.New(77), 2048, 3) // n=4096, m=6144
+	mt := NewMaintainer(g, MaintainerOptions{K: 2, Seed: 9, AuditEvery: 16, FullSweep: fullSweep})
+	defer mt.Close()
+	mt.Recompute()
+	r := rng.New(123)
+	toggle := func() Update {
+		e := r.Intn(g.M())
+		if mt.Live(e) {
+			return Update{Edge: e, Op: EdgeDelete}
+		}
+		return Update{Edge: e, Op: EdgeInsert}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Apply(Batch{toggle(), toggle()})
+	}
+}
+
+// BenchmarkDynamicRegionRepairActive is one small-batch repair slot with
+// active-set execution (the default): cost ∝ region.
+func BenchmarkDynamicRegionRepairActive(b *testing.B) { benchRegionRepair(b, false) }
+
+// BenchmarkDynamicRegionRepairFullSweep is the identical slot stream on
+// the PR-4 schedule (every node stepped every round): cost ∝ n.
+func BenchmarkDynamicRegionRepairFullSweep(b *testing.B) { benchRegionRepair(b, true) }
 
 // ---- Algorithm-level benchmarks at a fixed mid-size workload ----
 
@@ -440,6 +483,28 @@ func BenchmarkEngineRoundFlat(b *testing.B) {
 		})
 	}
 	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// BenchmarkEngineRoundActive is the engine beacon restricted to a
+// 64-node active set on the same 4096-node graph: the smoke check (CI's
+// EngineRound pattern) that sub-round execution neither panics nor
+// regresses. node-rounds/s counts active node-rounds only, so the rate
+// should be in the same band as the full flat sweep — the win is that a
+// round costs 1/64th of one.
+func BenchmarkEngineRoundActive(b *testing.B) {
+	g := gen.DRegular(rng.New(8), 4096, 4)
+	rounds := 64
+	active := make([]int32, 64)
+	for i := range active {
+		active[i] = int32(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.RunFlat(g, dist.Config{Seed: uint64(i), ActiveSet: active}, func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: rounds}
+		})
+	}
+	b.ReportMetric(float64(rounds*len(active))*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
 }
 
 // engineRoundWorkload is the shared 4096-node 4-regular beacon the

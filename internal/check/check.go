@@ -68,7 +68,7 @@ func Matching(g *graph.Graph, m *graph.Matching, probeLen int, seed uint64) (Rep
 // assume the assignment is consistent — that is what it checks.
 func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64) (Report, *dist.Stats) {
 	rep := Report{ShortestAug: -2}
-	stats := dist.Run(g, dist.Config{Seed: seed}, program(matchedEdge, probeLen, &rep))
+	stats := dist.RunFlat(g, dist.Config{Seed: seed}, flatProgram(matchedEdge, probeLen, &rep))
 	return rep, stats
 }
 
@@ -81,14 +81,20 @@ func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64)
 // invalid (its handshake cannot complete).
 func MatchingOnRunner(r *dist.Runner, matchedEdge []int32, probeLen int, seed uint64) (Report, *dist.Stats) {
 	rep := Report{ShortestAug: -2}
-	stats := r.Run(seed, program(matchedEdge, probeLen, &rep))
+	stats := r.RunFlat(seed, flatProgram(matchedEdge, probeLen, &rep))
 	return rep, stats
 }
 
-// program builds the node program shared by the fresh and runner entry
-// points. The engine's activation mask (if any) shapes what it sees: a
-// SendAll reaches only live neighbors, so every probe is relative to the
-// live subgraph.
+// program is the blocking (coroutine-backend) reference form of the
+// protocol; every entry point runs its flat transliteration (flat.go),
+// and TestFlatMatchesBlocking pins the two bit-equal. The engine's
+// activation mask (if any) shapes what either form sees: a SendAll
+// reaches only live neighbors, so every probe is relative to the live
+// subgraph. The report is written by the run's Reporter node (the
+// lowest stepped id) rather than node 0, so the protocol also works
+// under active-set execution — the dynamic Maintainer restricts audits
+// to the endpoints of live edges, a set no live edge can cross, which
+// leaves messages, rounds and outcomes bit-identical to a full sweep.
 func program(matchedEdge []int32, probeLen int, rep *Report) func(*dist.Node) {
 	return func(nd *dist.Node) {
 		me := matchedEdge[nd.ID()]
@@ -121,7 +127,7 @@ func program(matchedEdge []int32, probeLen int, rep *Report) func(*dist.Node) {
 			}
 		}
 		_, anyBad := nd.StepOr(bad)
-		if nd.ID() == 0 {
+		if nd.Reporter() {
 			rep.Valid = !anyBad
 		}
 
@@ -138,7 +144,7 @@ func program(matchedEdge []int32, probeLen int, rep *Report) func(*dist.Node) {
 			}
 		}
 		_, anyViolation := nd.StepOr(violation)
-		if nd.ID() == 0 {
+		if nd.Reporter() {
 			rep.Maximal = !anyViolation
 		}
 
@@ -162,12 +168,12 @@ func program(matchedEdge []int32, probeLen int, rep *Report) func(*dist.Node) {
 			_, any := nd.StepOr(leader && !found)
 			if any && !found {
 				found = true
-				if nd.ID() == 0 {
+				if nd.Reporter() {
 					rep.ShortestAug = ell
 				}
 			}
 		}
-		if nd.ID() == 0 && !found {
+		if nd.Reporter() && !found {
 			rep.ShortestAug = -1
 		}
 	}

@@ -1,0 +1,167 @@
+package check
+
+// The verification protocol in flat (dist.RoundProgram) form — a
+// segment-for-segment transliteration of program() in check.go: the same
+// sends, the same barrier structure, the same reporter writes, so the
+// two are bit-identical (TestFlatMatchesBlocking) and differ only in
+// throughput. This is the form every entry point runs: verification
+// draws no randomness and carries trivial per-round compute, exactly the
+// shape where the coroutine switch tax dominates (DESIGN.md §1) — and
+// the audit path of the dynamic Maintainer runs it every few applies,
+// where it was the last coroutine consumer in the serving loop.
+
+import (
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+)
+
+// flatChecker stages, named for the barrier each OnRound consumes.
+const (
+	ckClaims  uint8 = iota // handshake claims delivered
+	ckValid                // validity OR delivered
+	ckFree                 // free flags delivered
+	ckMaximal              // maximality OR delivered
+	ckBFS                  // inside one counting BFS (ell rounds)
+	ckProbe                // leader OR of the finished BFS delivered
+)
+
+type flatChecker struct {
+	matchedEdge []int32
+	probeLen    int
+	rep         *Report
+
+	stage uint8
+	me    int32
+	bad   bool
+	free  bool
+	found bool
+	ell   int
+	mport int
+	side  int
+	bfs   core.CountLeadersMachine
+}
+
+func (c *flatChecker) Init(nd *dist.Node) bool {
+	c.me = c.matchedEdge[nd.ID()]
+
+	// Round 1: handshake. Everyone tells every neighbor which edge
+	// (if any) it believes it is matched on.
+	nd.SendAll(edgeClaim{edge: c.me})
+	if c.me != -1 {
+		// My edge must be incident to me — and live: a dead matched
+		// edge cannot be caught by the cross-check, because no message
+		// crosses it.
+		found := false
+		for p := 0; p < nd.Deg(); p++ {
+			if int32(nd.EdgeID(p)) == c.me {
+				found = nd.EdgeLive(p)
+			}
+		}
+		if !found {
+			c.bad = true
+		}
+	}
+	c.stage = ckClaims
+	return true
+}
+
+func (c *flatChecker) OnRound(nd *dist.Node, in []dist.Incoming) bool {
+	switch c.stage {
+	case ckClaims:
+		for _, d := range in {
+			claim := d.Msg.(edgeClaim).edge
+			myEdgeHere := int32(nd.EdgeID(d.Port))
+			// If the neighbor claims the shared edge, I must claim it
+			// too, and vice versa.
+			if (claim == myEdgeHere) != (c.me == myEdgeHere) {
+				c.bad = true
+			}
+		}
+		nd.SubmitOr(c.bad)
+		c.stage = ckValid
+		return true
+
+	case ckValid:
+		if nd.Reporter() {
+			c.rep.Valid = !nd.GlobalOr()
+		}
+		// Rounds 2-3: maximality probe. Free nodes raise a flag; a free
+		// node seeing a free neighbor reports a violation.
+		c.free = c.me == -1
+		if c.free {
+			nd.SendAll(freeFlag{})
+		}
+		c.stage = ckFree
+		return true
+
+	case ckFree:
+		violation := false
+		for _, d := range in {
+			if _, ok := d.Msg.(freeFlag); ok && c.free {
+				violation = true
+			}
+		}
+		nd.SubmitOr(violation)
+		c.stage = ckMaximal
+		return true
+
+	case ckMaximal:
+		if nd.Reporter() {
+			c.rep.Maximal = !nd.GlobalOr()
+		}
+		// Berge probe (bipartite only): run the counting BFS for
+		// ℓ = 1, 3, …, probeLen; the first ℓ with a leader is the
+		// shortest augmenting path length.
+		if c.probeLen <= 0 || !nd.Bipartite() {
+			return false
+		}
+		c.mport = -1
+		if c.me != -1 {
+			for p := 0; p < nd.Deg(); p++ {
+				if int32(nd.EdgeID(p)) == c.me {
+					c.mport = p
+				}
+			}
+		}
+		c.side = nd.Side()
+		c.ell = 1
+		c.bfs.Reset(c.mport, c.side, c.ell)
+		c.bfs.Start(nd)
+		c.stage = ckBFS
+		return true
+
+	case ckBFS:
+		if !c.bfs.OnRound(nd, in) {
+			return true
+		}
+		nd.SubmitOr(c.bfs.Leader() && !c.found)
+		c.stage = ckProbe
+		return true
+
+	default: // ckProbe
+		if nd.GlobalOr() && !c.found {
+			c.found = true
+			if nd.Reporter() {
+				c.rep.ShortestAug = c.ell
+			}
+		}
+		c.ell += 2
+		if c.ell <= c.probeLen {
+			c.bfs.Reset(c.mport, c.side, c.ell)
+			c.bfs.Start(nd)
+			c.stage = ckBFS
+			return true
+		}
+		if nd.Reporter() && !c.found {
+			c.rep.ShortestAug = -1
+		}
+		return false
+	}
+}
+
+// flatProgram is the factory the entry points hand to RunFlat.
+func flatProgram(matchedEdge []int32, probeLen int, rep *Report) func(nd *dist.Node) dist.RoundProgram {
+	return func(*dist.Node) dist.RoundProgram {
+		return &flatChecker{matchedEdge: matchedEdge, probeLen: probeLen, rep: rep}
+	}
+}

@@ -416,6 +416,41 @@ func (m *phasesMachine) next(nd *dist.Node) dist.Machine {
 	return &m.aug
 }
 
+// CountLeadersMachine is CountLeaders in Machine form: the Algorithm 3
+// counting BFS run for exactly ell rounds with every node participating
+// and every port usable, reporting whether this node ended up a leader —
+// a free Y node reached by the BFS, i.e. the endpoint of at least one
+// augmenting path of length ≤ ell. Exposed for the flat form of
+// internal/check's Berge probe; Reset re-arms it across ℓ values and
+// runs, like every other machine here.
+type CountLeadersMachine struct {
+	env phaseEnv
+	bfs bfsMachine
+}
+
+// Reset arms the machine for one BFS: matchedPort is this node's matched
+// port (-1 free), side its bipartition side, ell the exact round count.
+func (m *CountLeadersMachine) Reset(matchedPort, side, ell int) {
+	m.env = phaseEnv{
+		st:          MatchState{MatchedPort: matchedPort},
+		side:        side,
+		participate: true,
+		active:      allPorts,
+	}
+	m.bfs.reset(&m.env, ell)
+}
+
+// Start implements dist.Machine (the round-0 flood of free X nodes).
+func (m *CountLeadersMachine) Start(nd *dist.Node) bool { return m.bfs.Start(nd) }
+
+// OnRound implements dist.Machine (one reception-and-forward layer).
+func (m *CountLeadersMachine) OnRound(nd *dist.Node, in []dist.Incoming) bool {
+	return m.bfs.OnRound(nd, in)
+}
+
+// Leader reports the BFS outcome at this node.
+func (m *CountLeadersMachine) Leader() bool { return m.bfs.res.leader }
+
 // runFlatBipartite is the flat-backend implementation behind
 // BipartiteMCM/BipartiteMCMWithConfig.
 func runFlatBipartite(g *graph.Graph, k int, cfg dist.Config, oracle bool) (*graph.Matching, *dist.Stats) {

@@ -36,6 +36,15 @@ type RepairOptions struct {
 // -1, the CollectMatching form). Nodes outside the region neither send
 // nor change state: their entries are frozen.
 //
+// Because frozen nodes are pure observers — no sends, no RNG draws,
+// identity oracle submissions — the caller may additionally install the
+// region as r's active set (Runner.SetActive, typically inRegion =
+// r.ActiveMask()), and the engine then steps only region nodes: repair
+// cost becomes ∝ region instead of ∝ n, with the matching, rounds,
+// messages and per-round profile bit-identical to the full-sweep run
+// (TestRepairActiveSetConformance). internal/dynamic's Maintainer drives
+// repairs this way.
+//
 // Caller invariants (the dynamic Maintainer maintains them):
 //   - r's graph is bipartite and matchedEdge is a consistent matching;
 //   - every matched edge is live;

@@ -1,0 +1,155 @@
+package core
+
+// Active-set conformance for the repair layer: running the §3.2 phases
+// over a region with the engine restricted to that region (only region
+// nodes stepped) must be bit-identical — matching, rounds, messages,
+// bits, per-round profile — to the PR-4 full sweep in which frozen nodes
+// step idly through every round, across topologies × worker counts ×
+// backends × repairer forms. This is the contract internal/dynamic's
+// Maintainer relies on for every incremental Apply.
+
+import (
+	"reflect"
+	"testing"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/gen"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// growBall grows a hop ball around seed over live edges with a mate
+// closure — a test-local twin of the Maintainer's region policy.
+func growBall(r *dist.Runner, matchedEdge []int32, seed int32, hops int) []int32 {
+	r.SetActive([]int32{seed})
+	r.ExpandByHops(hops)
+	members := r.ActiveNodes()
+	g := r.Graph()
+	for _, v := range members {
+		if me := matchedEdge[v]; me >= 0 {
+			r.ActivateNode(g.Other(int(me), int(v)))
+		}
+	}
+	return append([]int32(nil), r.ActiveNodes()...)
+}
+
+// TestRepairActiveSetConformance drives two repair stages (empty-start
+// augmentation, then a second repair of a fresh region warm from the
+// first result) on every topology × worker count × backend, comparing
+// the full-sweep and active-set executions slot for slot.
+func TestRepairActiveSetConformance(t *testing.T) {
+	tops := map[string]*graph.Graph{
+		"gnp":   gen.BipartiteGnp(rng.New(71), 18, 16, 0.2),
+		"dense": gen.BipartiteGnp(rng.New(72), 10, 10, 0.5),
+		"path":  gen.Path(23),
+	}
+	for name, g := range tops {
+		if g.M() == 0 {
+			continue
+		}
+		n := g.N()
+		for _, k := range []int{2, 3} {
+			for _, workers := range []int{1, 3} {
+				for _, backend := range []dist.Backend{dist.BackendFlat, dist.BackendCoroutine} {
+					label := name
+					runRepairs := func(active bool) ([]int32, []*dist.Stats) {
+						r := dist.NewRunner(g, dist.Config{Workers: workers, Profile: true, Backend: backend})
+						defer r.Close()
+						matched := make([]int32, n)
+						for v := range matched {
+							matched[v] = -1
+						}
+						br := NewBipartiteRepairer(r, matched, RepairOptions{K: k, Oracle: true, Backend: backend})
+						var sts []*dist.Stats
+						for stage, seed := range []int32{0, int32(n / 2)} {
+							ids := growBall(r, matched, seed, 2*k-1)
+							region := make([]bool, n)
+							for _, v := range ids {
+								region[v] = true
+							}
+							if active {
+								// Engine schedule = region: the Runner's
+								// active set is already the grown ball.
+								sts = append(sts, br.Repair(uint64(100+stage), r.ActiveMask()))
+							} else {
+								r.ClearActive()
+								sts = append(sts, br.Repair(uint64(100+stage), region))
+							}
+						}
+						return matched, sts
+					}
+					fullM, fullSt := runRepairs(false)
+					actM, actSt := runRepairs(true)
+					if !reflect.DeepEqual(fullM, actM) {
+						t.Fatalf("%s k=%d w=%d %v: matchings diverge\nfull %v\nact  %v",
+							label, k, workers, backend, fullM, actM)
+					}
+					for i := range fullSt {
+						if fullSt[i].Rounds != actSt[i].Rounds || fullSt[i].Messages != actSt[i].Messages ||
+							fullSt[i].Bits != actSt[i].Bits {
+							t.Fatalf("%s k=%d w=%d %v stage %d: stats diverge: full %v vs active %v",
+								label, k, workers, backend, i, fullSt[i], actSt[i])
+						}
+						if !reflect.DeepEqual(fullSt[i].Profile, actSt[i].Profile) {
+							t.Fatalf("%s k=%d w=%d %v stage %d: profiles diverge", label, k, workers, backend, i)
+						}
+						if actSt[i].NodeRounds > fullSt[i].NodeRounds {
+							t.Fatalf("%s stage %d: active swept more than full (%d > %d)",
+								label, i, actSt[i].NodeRounds, fullSt[i].NodeRounds)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRepairActiveNodeRoundsScaleWithRegion pins the point of the
+// feature: on a large sparse slab, a small-region repair's sweep work
+// under active-set execution is a small fraction of the full-sweep
+// equivalent (which steps all n nodes every round).
+func TestRepairActiveNodeRoundsScaleWithRegion(t *testing.T) {
+	g := gen.BipartiteRegular(rng.New(3), 256, 3) // 512 nodes, degree 3
+	n := g.N()
+	k := 2
+	run := func(active bool) (*dist.Stats, int) {
+		r := dist.NewRunner(g, dist.Config{})
+		defer r.Close()
+		matched := make([]int32, n)
+		for v := range matched {
+			matched[v] = -1
+		}
+		ids := growBall(r, matched, 0, 2*k-1)
+		region := make([]bool, n)
+		for _, v := range ids {
+			region[v] = true
+		}
+		if !active {
+			r.ClearActive()
+		}
+		st := RepairBipartite(r, 9, matched, regionArg(active, r, region), RepairOptions{K: k, Oracle: true})
+		return st, len(ids)
+	}
+	fullSt, _ := run(false)
+	actSt, region := run(true)
+	if region >= n/4 {
+		t.Fatalf("test premise broken: region %d not small vs n=%d", region, n)
+	}
+	if fullSt.Rounds != actSt.Rounds || fullSt.Messages != actSt.Messages {
+		t.Fatalf("conformance broke: %v vs %v", fullSt, actSt)
+	}
+	if want := int64(region) * int64(actSt.Rounds+1); actSt.NodeRounds != want {
+		t.Fatalf("active NodeRounds = %d, want %d", actSt.NodeRounds, want)
+	}
+	if actSt.NodeRounds*4 > fullSt.NodeRounds {
+		t.Fatalf("active sweep work %d not ≪ full %d (region %d of %d nodes)",
+			actSt.NodeRounds, fullSt.NodeRounds, region, n)
+	}
+}
+
+func regionArg(active bool, r *dist.Runner, region []bool) []bool {
+	if active {
+		return r.ActiveMask()
+	}
+	return region
+}

@@ -106,11 +106,15 @@ func releaseCoros(pcs []*pooledCoro) {
 	}
 }
 
-// launch adopts one pooled coroutine per node. Program bodies do not
-// start until the node's first resume.
+// launch adopts one pooled coroutine per active node (per node, absent
+// an active set) — inactive nodes get no coroutine at all, which keeps
+// regional runs O(active). Program bodies do not start until the node's
+// first resume.
 func (e *engine) launch(program func(*Node)) {
-	e.coros = grabCoros(e.n)
-	for i := range e.nodes {
-		e.coros[i].bind(&e.nodes[i], program)
-	}
+	e.coros = grabCoros(e.activeCount())
+	i := 0
+	e.forEachActive(func(nd *Node) {
+		e.coros[i].bind(nd, program)
+		i++
+	})
 }

@@ -75,6 +75,17 @@
 // turn the fixed CSR slab into a mutable arc set — the substrate of
 // internal/dynamic's incremental matching maintainer.
 //
+// A run may further be restricted to a node subset (active.go):
+// Config.ActiveSet for one-shot runs, SetActive / ActivateNode /
+// ExpandByHops / ClearActive on a Runner. Inactive nodes execute no
+// program segments, send and receive nothing, and their RNG streams do
+// not advance, so per-round sweep cost — and, on a Runner, per-run reset
+// cost — is O(active), not O(n). A run over an active set is
+// bit-identical to a full-sweep run of a protocol whose excluded nodes
+// are silent observers; only Stats.NodeRounds and Stats.OracleCalls
+// (honest work accounting) differ. This is what makes regional repair
+// on a large slab cost ∝ region (DESIGN.md §1 and §6).
+//
 // # Execution model
 //
 // The engine is built for throughput (BenchmarkEngineRound and

@@ -68,6 +68,16 @@ type Config struct {
 	// implement both program forms; see Backend. Both backends are
 	// bit-identical, so this only affects throughput.
 	Backend Backend
+	// ActiveSet restricts the run to the listed node ids (nil means every
+	// node): only listed nodes are stepped — inactive nodes execute no
+	// program segments, send and receive nothing, and their RNG streams
+	// never advance — so per-round cost is O(active), not O(n). Results
+	// are bit-identical to a full-sweep run of a protocol whose unlisted
+	// nodes are silent observers (see active.go). Duplicates are ignored;
+	// ids must lie in [0, n); an empty non-nil slice steps no nodes. For
+	// run-to-run control use the Runner mutation API (SetActive,
+	// ExpandByHops, ClearActive) instead.
+	ActiveSet []int32
 }
 
 // abortPanic unwinds a node program when the engine cancels the run; the
@@ -404,6 +414,21 @@ type engine struct {
 	// progSlab backs progs across a Runner's flat runs (see runner.go).
 	progSlab []RoundProgram
 
+	// Active-set execution state (see active.go). active is the current
+	// restriction (nil ⇒ every node); actSlab retains the allocation
+	// across ClearActive cycles. planSweep derives the per-run plan:
+	// sweep form, the sorted id list the sparse sweep walks, and the
+	// run's reporter (lowest active id; -1 on an empty set). prevAll /
+	// prevDirty remember which nodes the previous Runner run stepped, so
+	// reset clears only the mailbox slots that run could have written.
+	active       *activeSet
+	actSlab      *activeSet
+	sweep        uint8
+	activeSorted []int32
+	reporter     int32
+	prevAll      bool
+	prevDirty    []int32
+
 	// aborting makes every subsequent park unwind its program; set (only)
 	// before the abortLive sweep.
 	aborting bool
@@ -426,6 +451,10 @@ type engine struct {
 type worker struct {
 	e      *engine
 	lo, hi int32
+
+	// actLo/actHi bound this chunk's slice of engine.activeSorted when
+	// the run sweeps in sparse form (set by planSweep, unused otherwise).
+	actLo, actHi int
 
 	// Round aggregates, reset at the start of runRound.
 	parked  int
@@ -464,19 +493,45 @@ func (w *worker) runRound() {
 }
 
 // coroSweep resumes every live node program of the chunk once. All
-// bookkeeping is node-side; the sweep itself is just the coroutine switches.
+// bookkeeping is node-side; the sweep itself is just the coroutine
+// switches. Under an active set only active nodes own coroutines, so the
+// sweep walks the sparse id slice or the chunk range under the bitmap.
 func (w *worker) coroSweep() {
 	nodes := w.e.nodes
-	for i := w.lo; i < w.hi; i++ {
-		nd := &nodes[i]
-		if i+1 < w.hi {
-			// Touch the next node's line so it loads while this node's
-			// program runs; the sweep is latency-bound on cold per-node
-			// state. The store keeps the load from being dead-coded.
-			w.prefetch = nodes[i+1].done
+	switch w.e.sweep {
+	case sweepList:
+		act := w.e.activeSorted[w.actLo:w.actHi]
+		for j, i := range act {
+			nd := &nodes[i]
+			if j+1 < len(act) {
+				w.prefetch = nodes[act[j+1]].done
+			}
+			if !nd.done {
+				nd.next()
+			}
 		}
-		if !nd.done {
-			nd.next() // coroutine switch into the node program
+	case sweepMask:
+		mask := w.e.active.mask
+		for i := w.lo; i < w.hi; i++ {
+			if !mask[i] {
+				continue
+			}
+			if nd := &nodes[i]; !nd.done {
+				nd.next()
+			}
+		}
+	default:
+		for i := w.lo; i < w.hi; i++ {
+			nd := &nodes[i]
+			if i+1 < w.hi {
+				// Touch the next node's line so it loads while this node's
+				// program runs; the sweep is latency-bound on cold per-node
+				// state. The store keeps the load from being dead-coded.
+				w.prefetch = nodes[i+1].done
+			}
+			if !nd.done {
+				nd.next() // coroutine switch into the node program
+			}
 		}
 	}
 }
@@ -559,11 +614,15 @@ func newEngine(g *graph.Graph, cfg Config) *engine {
 			}(&e.workers[i], e.dispatch[i])
 		}
 	}
+	if cfg.ActiveSet != nil && n > 0 {
+		e.installActive(cfg.ActiveSet)
+	}
+	e.planSweep()
 	return e
 }
 
 func (e *engine) loop() {
-	live := e.n
+	live := e.activeCount()
 	for live > 0 {
 		e.runRound()
 		agg := e.combine()
@@ -572,6 +631,7 @@ func (e *engine) loop() {
 			panic(agg.panicVal)
 		}
 		live -= agg.done
+		e.stats.NodeRounds += int64(agg.parked) + int64(agg.done)
 		e.stats.Messages += agg.msgs
 		e.stats.Bits += agg.bits
 		if agg.parked == 0 {
@@ -656,7 +716,8 @@ func (e *engine) combine() worker {
 	return agg
 }
 
-// abortLive cancels every still-running node program. On the coroutine
+// abortLive cancels every still-running node program of the current run
+// (only the run's active nodes ever started one). On the coroutine
 // backend that means unwinding: with aborting set, each resumed park panics
 // an abortPanic, which runProgram recovers, and the coroutine drops back to
 // its idle loop — afterwards every coroutine of the run is idle and
@@ -665,18 +726,15 @@ func (e *engine) combine() worker {
 func (e *engine) abortLive() {
 	e.aborting = true
 	if e.progs != nil {
-		for i := range e.nodes {
-			e.nodes[i].done = true
-		}
+		e.forEachActive(func(nd *Node) { nd.done = true })
 		return
 	}
-	for i := range e.nodes {
-		nd := &e.nodes[i]
+	e.forEachActive(func(nd *Node) {
 		if !nd.done {
 			nd.done = true
 			nd.next()
 		}
-	}
+	})
 }
 
 // close cancels any remaining programs, returns the run's coroutines to

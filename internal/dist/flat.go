@@ -56,9 +56,7 @@ func RunFlat(g *graph.Graph, cfg Config, factory func(nd *Node) RoundProgram) *S
 	e := newEngine(g, cfg)
 	if e.n != 0 {
 		e.progs = make([]RoundProgram, e.n)
-		for i := range e.nodes {
-			e.progs[i] = factory(&e.nodes[i])
-		}
+		e.forEachActive(func(nd *Node) { e.progs[nd.id] = factory(nd) })
 		defer e.close()
 		e.loop()
 	}
@@ -106,6 +104,9 @@ func (nd *Node) GlobalMax() float64 { return nd.eng.maxGlobal }
 // preserved — the sweep runs in increasing id order, so the first panic in
 // a chunk is the chunk's lowest, and combine takes the minimum across
 // workers.
+// Under an active set the sweep walks only active nodes — the sparse id
+// slice or the chunk range under the bitmap, per planSweep's density
+// choice — which is what makes a regional run cost O(active) per round.
 func (w *worker) flatSweep() {
 	e := w.e
 	nodes := e.nodes
@@ -117,24 +118,50 @@ func (w *worker) flatSweep() {
 			w.notePanic(cur, r)
 		}
 	}()
-	for i := w.lo; i < w.hi; i++ {
-		nd := &nodes[i]
-		if nd.done {
-			continue
+	switch e.sweep {
+	case sweepList:
+		for _, i := range e.activeSorted[w.actLo:w.actHi] {
+			nd := &nodes[i]
+			if nd.done {
+				continue
+			}
+			cur = int(i)
+			w.stepFlat(nd, i)
 		}
-		cur = int(i)
-		var again bool
-		if nd.started {
-			again = e.progs[i].OnRound(nd, nd.collect())
-		} else {
-			nd.started = true
-			again = e.progs[i].Init(nd)
+	case sweepMask:
+		mask := e.active.mask
+		for i := w.lo; i < w.hi; i++ {
+			if !mask[i] || nodes[i].done {
+				continue
+			}
+			cur = int(i)
+			w.stepFlat(&nodes[i], i)
 		}
-		if again {
-			w.parked++
-		} else {
-			nd.done = true
-			w.done++
+	default:
+		for i := w.lo; i < w.hi; i++ {
+			nd := &nodes[i]
+			if nd.done {
+				continue
+			}
+			cur = int(i)
+			w.stepFlat(nd, i)
 		}
+	}
+}
+
+// stepFlat advances one live RoundProgram by one round.
+func (w *worker) stepFlat(nd *Node, i int32) {
+	var again bool
+	if nd.started {
+		again = w.e.progs[i].OnRound(nd, nd.collect())
+	} else {
+		nd.started = true
+		again = w.e.progs[i].Init(nd)
+	}
+	if again {
+		w.parked++
+	} else {
+		nd.done = true
+		w.done++
 	}
 }

@@ -66,9 +66,7 @@ func (r *Runner) RunFlat(seed uint64, factory func(nd *Node) RoundProgram) *Stat
 		e.progSlab = make([]RoundProgram, e.n)
 	}
 	e.progs = e.progSlab
-	for i := range e.nodes {
-		e.progs[i] = factory(&e.nodes[i])
-	}
+	e.forEachActive(func(nd *Node) { e.progs[nd.id] = factory(nd) })
 	defer e.abortLive()
 	e.loop()
 	st := e.stats
@@ -95,21 +93,26 @@ func (r *Runner) check() *engine {
 }
 
 // reset rewinds the engine to its pre-run state for a new seed, keeping
-// every slab and the worker pool. Mailboxes may hold undelivered
-// messages from a previous run's final segments or an abort, so both
-// buffers are cleared.
+// every slab and the worker pool, in O(previous active + active volume)
+// rather than O(n + m): mailboxes may hold undelivered messages from a
+// previous run's final segments or an abort, but only in slots that
+// run's active nodes could have written (clearPrevMail), and only this
+// run's active nodes need their flags rewound and streams reseeded — the
+// sweep never visits anyone else.
 func (e *engine) reset(seed uint64) {
 	e.cfg.Seed = seed
-	clear(e.cur)
-	clear(e.nxt)
-	for i := range e.nodes {
-		nd := &e.nodes[i]
+	e.clearPrevMail()
+	if e.active == nil {
+		e.prevAll = true
+	} else {
+		e.prevDirty = append(e.prevDirty[:0], e.active.list...)
+	}
+	e.planSweep()
+	e.forEachActive(func(nd *Node) {
 		nd.done, nd.started = false, false
 		nd.next, nd.yield = nil, nil
-	}
-	for v := range e.rnds {
-		e.rnds[v].Seed(rng.ForkSeed(seed, uint64(v)))
-	}
+		e.rnds[nd.id].Seed(rng.ForkSeed(seed, uint64(nd.id)))
+	})
 	for i := range e.workers {
 		e.workers[i].panicID, e.workers[i].panicVal = -1, nil
 	}

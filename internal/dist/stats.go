@@ -16,10 +16,17 @@ type Stats struct {
 	// MaxMessageBits is the width of the largest single message observed —
 	// the CONGEST-vs-LOCAL telltale.
 	MaxMessageBits int
+	// NodeRounds counts node program segments actually executed: every
+	// round adds the number of nodes stepped in it. On a full sweep this
+	// is ≈ Rounds × n; under active-set execution (Config.ActiveSet,
+	// Runner.SetActive) only active nodes are stepped, so NodeRounds —
+	// unlike Rounds, which is the protocol's logical length — measures
+	// the engine's real sweep work and scales with the active set.
+	NodeRounds int64
 	// OracleCalls counts per-node uses of the global aggregation oracle:
-	// each StepOr/StepMax round adds one per participating node. A real
-	// network pays Θ(diameter) rounds per aggregation; experiment notes
-	// convert with graph.Diameter (see DESIGN.md §2).
+	// each StepOr/StepMax round adds one per participating (active) node.
+	// A real network pays Θ(diameter) rounds per aggregation; experiment
+	// notes convert with graph.Diameter (see DESIGN.md §2).
 	OracleCalls int64
 	// Profile holds one entry per round when Config.Profile is set; nil
 	// otherwise.

@@ -99,6 +99,13 @@ type Options struct {
 	// Budgeted switches the repair phases from the convergence oracle to
 	// the paper's fixed w.h.p. budgets.
 	Budgeted bool
+	// FullSweep disables active-set execution: every repair and audit
+	// steps all n nodes each round (the PR-4 engine schedule) even when
+	// the region is a handful of nodes. Matchings, rounds and messages
+	// are bit-identical either way — only NodeRounds (the engine's real
+	// sweep work) differs — which is exactly what the differential fuzz
+	// suite replays and what the region-cost benchmarks compare.
+	FullSweep bool
 	// Workers and Backend configure the underlying engine.
 	Workers int
 	Backend dist.Backend
@@ -140,9 +147,13 @@ type ApplyReport struct {
 	Audited       bool
 	CertificateOK bool
 	// Rounds and Messages aggregate the engine cost of everything this
-	// Apply ran (repairs, audits, recomputes).
-	Rounds   int64
-	Messages int64
+	// Apply ran (repairs, audits, recomputes). NodeRounds is the engine's
+	// real sweep work (nodes actually stepped, summed over rounds): under
+	// active-set execution it scales with the region, under
+	// Options.FullSweep with the slab.
+	Rounds     int64
+	Messages   int64
+	NodeRounds int64
 }
 
 // Totals aggregates a Maintainer's lifetime costs, the numbers experiment
@@ -157,4 +168,5 @@ type Totals struct {
 	RegionNodes   int64 // summed region sizes over all repairs
 	Rounds        int64 // engine rounds over all runs
 	Messages      int64 // engine messages over all runs
+	NodeRounds    int64 // nodes actually stepped, summed over all rounds
 }

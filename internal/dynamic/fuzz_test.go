@@ -1,0 +1,158 @@
+package dynamic
+
+// The randomized fuzz driver of PR 5: a seeded table of ≥200 random
+// mutation schedules, each replayed through two Maintainers in lockstep —
+// active-set execution on (the default) versus off (Options.FullSweep,
+// the PR-4 engine schedule) — asserting identical matchings, identical
+// engine cost (rounds, messages), identical audit outcomes and identical
+// lifetime totals at every single step; audited steps are additionally
+// checked against internal/exact, and the restricted audit is replayed
+// through the independent fresh-graph verifier. CI runs this under
+// -race. Only NodeRounds — the engine's real sweep work, the thing the
+// feature exists to shrink — may (and must, in aggregate) differ.
+
+import (
+	"testing"
+
+	"distmatch/internal/check"
+	"distmatch/internal/exact"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+const fuzzSchedules = 220
+
+// fuzzReportsEqual compares everything an Apply reports except the sweep
+// work.
+func fuzzReportsEqual(a, b ApplyReport) bool {
+	a.NodeRounds, b.NodeRounds = 0, 0
+	return a == b
+}
+
+func fuzzTotalsEqual(a, b Totals) bool {
+	a.NodeRounds, b.NodeRounds = 0, 0
+	return a == b
+}
+
+// TestFuzzDynamicActiveVsFullSweep is the schedule table. Every schedule
+// draws its own slab, approximation target, audit cadence, region cap
+// and batch stream from its seed, so the table covers regional repairs,
+// full-graph fallbacks, failed audits and recomputes alike.
+func TestFuzzDynamicActiveVsFullSweep(t *testing.T) {
+	var regionalRepairs int
+	var sweepSaved int64
+	for sched := 0; sched < fuzzSchedules; sched++ {
+		seed := uint64(sched)
+		r := rng.New(rng.Mix(seed + 1))
+		g := gen.BipartiteGnp(r.Fork(1), 5+r.Intn(8), 5+r.Intn(8), 0.15+0.3*r.Float64())
+		if g.M() == 0 {
+			continue
+		}
+		opts := Options{
+			K:          2 + r.Intn(2),
+			Seed:       seed + 7,
+			StartEmpty: true,
+			AuditEvery: []int{1, 3, 5}[r.Intn(3)],
+		}
+		if r.Intn(4) == 0 {
+			opts.MaxRegionFrac = 0.2 // exercise the overflow→full path often
+		}
+		full := opts
+		full.FullSweep = true
+		act := New(g, opts)
+		ref := New(g, full)
+
+		steps := 6 + r.Intn(10)
+		for step := 0; step < steps; step++ {
+			b := randomBatch(r, act, 4)
+			ra := act.Apply(b)
+			rf := ref.Apply(b)
+			if !fuzzReportsEqual(ra, rf) {
+				t.Fatalf("schedule %d step %d: reports diverge\nactive %+v\nfull   %+v", sched, step, ra, rf)
+			}
+			if ra.NodeRounds > rf.NodeRounds {
+				t.Fatalf("schedule %d step %d: active swept more than full (%d > %d)",
+					sched, step, ra.NodeRounds, rf.NodeRounds)
+			}
+			if ka, kf := matchKey(g, act.Matching()), matchKey(g, ref.Matching()); ka != kf {
+				t.Fatalf("schedule %d step %d: matchings diverge: %q vs %q", sched, step, ka, kf)
+			}
+			if ra.Audited {
+				if !ra.CertificateOK {
+					t.Fatalf("schedule %d step %d: audit left an uncertified state: %+v", sched, step, ra)
+				}
+				// Certified state against the centralized exact optimum.
+				opt := exact.MaxCardinality(act.LiveGraph()).Size()
+				if k := act.K(); act.Matching().Size()*k < (k-1)*opt {
+					t.Fatalf("schedule %d step %d: size %d below (1-1/%d) of opt %d",
+						sched, step, act.Matching().Size(), k, opt)
+				}
+			}
+		}
+		ta, tf := act.Totals(), ref.Totals()
+		if !fuzzTotalsEqual(ta, tf) {
+			t.Fatalf("schedule %d: totals diverge\nactive %+v\nfull   %+v", sched, ta, tf)
+		}
+		regionalRepairs += ta.Repairs
+		sweepSaved += tf.NodeRounds - ta.NodeRounds
+		act.Close()
+		ref.Close()
+	}
+	// The table must actually have exercised the feature: regional
+	// repairs happened, and active-set execution swept strictly less.
+	if regionalRepairs == 0 {
+		t.Fatal("fuzz table ran no regional repairs — schedules are miscalibrated")
+	}
+	if sweepSaved <= 0 {
+		t.Fatalf("active-set execution saved no sweep work across the table (Δ=%d)", sweepSaved)
+	}
+}
+
+// TestFuzzDynamicAuditEquivalence replays the Maintainer's restricted
+// audit (active set = endpoints of live edges) against the independent
+// fresh-graph verifier on the materialized live subgraph: validity,
+// maximality and the shortest-augmenting-path certificate must agree at
+// every audit point of a random schedule.
+func TestFuzzDynamicAuditEquivalence(t *testing.T) {
+	r := rng.New(424242)
+	for trial := 0; trial < 12; trial++ {
+		g := gen.BipartiteGnp(r.Fork(uint64(trial)), 9, 8, 0.3)
+		if g.M() == 0 {
+			continue
+		}
+		k := 2 + trial%2
+		mt := New(g, Options{K: k, Seed: uint64(trial + 3), StartEmpty: true, AuditEvery: -1})
+		for step := 0; step < 20; step++ {
+			mt.Apply(randomBatch(r, mt, 3))
+			// Reference probe of the *pre-audit* state through independent
+			// plumbing: a fresh graph, a fresh engine, no active set, no
+			// shared slabs. The Berge probe's BFS is deterministic given
+			// (graph, matching), so outcomes must coincide exactly.
+			lg := mt.LiveGraph()
+			me := make([]int32, lg.N())
+			for v := range me {
+				me[v] = -1
+			}
+			for _, e := range mt.Matching().Edges(g) {
+				x, y := g.Endpoints(e)
+				le := lg.EdgeBetween(x, y)
+				me[x], me[y] = int32(le), int32(le)
+			}
+			ref, _ := check.MatchingRaw(lg, me, 2*k-1, uint64(step))
+			if !ref.Valid {
+				t.Fatalf("trial %d step %d: reference verifier rejects the maintained matching", trial, step)
+			}
+			preFailures := mt.Totals().AuditFailures
+			rep := mt.Audit() // the restricted, engine-shared audit
+			failed := mt.Totals().AuditFailures > preFailures
+			if refAug := ref.ShortestAug != -1; failed != refAug {
+				t.Fatalf("trial %d step %d: restricted audit failed=%v, reference found aug=%v (len %d)",
+					trial, step, failed, refAug, ref.ShortestAug)
+			}
+			if !rep.CertificateOK {
+				t.Fatalf("trial %d step %d: audit did not restore the certificate: %+v", trial, step, rep)
+			}
+		}
+		mt.Close()
+	}
+}

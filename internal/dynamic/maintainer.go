@@ -25,15 +25,25 @@ type Maintainer struct {
 	opts Options
 
 	live        []bool  // liveness mirror, indexed by edge id
+	liveDeg     []int32 // per-node live degree
 	matchedEdge []int32 // per-node matched edge id, -1 free
 	repairer    *core.BipartiteRepairer
 	cached      *graph.Matching
 
-	// Scratch for region growing, reused across applies.
-	inRegion []bool
-	dirty    []int32
-	frontier []int32
-	scratch  []int32
+	// The audit restriction, maintained incrementally on liveDeg 0↔1
+	// transitions so audits never scan the slab: liveList holds every
+	// node with a live incident edge (unordered, swap-remove), livePos
+	// its position (-1 absent).
+	liveList []int32
+	livePos  []int32
+
+	// Scratch, reused across applies: the batch's dirty endpoints, the
+	// mate-closure member snapshot, and — in FullSweep mode only — a
+	// region-mask snapshot (mask + members, cleared in O(region)).
+	dirty      []int32
+	scratch    []int32
+	region     []bool
+	regionList []int32
 
 	runCtr uint64
 	totals Totals
@@ -52,11 +62,13 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 		r:           dist.NewRunner(g, dist.Config{Workers: opts.Workers, Backend: opts.Backend}),
 		opts:        opts,
 		live:        make([]bool, g.M()),
+		liveDeg:     make([]int32, g.N()),
+		livePos:     make([]int32, g.N()),
 		matchedEdge: make([]int32, g.N()),
-		inRegion:    make([]bool, g.N()),
 	}
 	for v := range mt.matchedEdge {
 		mt.matchedEdge[v] = -1
+		mt.livePos[v] = -1
 	}
 	mt.repairer = core.NewBipartiteRepairer(mt.r, mt.matchedEdge, core.RepairOptions{
 		K:       opts.K,
@@ -68,6 +80,13 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 	} else {
 		for e := range mt.live {
 			mt.live[e] = true
+		}
+		for v := range mt.liveDeg {
+			if d := g.Deg(v); d > 0 {
+				mt.liveDeg[v] = int32(d)
+				mt.livePos[v] = int32(len(mt.liveList))
+				mt.liveList = append(mt.liveList, int32(v))
+			}
 		}
 	}
 	return mt
@@ -138,7 +157,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 			if !mt.live[u.Edge] {
 				mt.live[u.Edge] = true
 				mt.r.SetEdgeLive(u.Edge, true)
-				mt.markDirty(u.Edge)
+				mt.markDirty(u.Edge, +1)
 			}
 		case Delete:
 			if mt.live[u.Edge] {
@@ -148,7 +167,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 				if mt.matchedEdge[x] == int32(u.Edge) {
 					mt.matchedEdge[x], mt.matchedEdge[y] = -1, -1
 				}
-				mt.markDirty(u.Edge)
+				mt.markDirty(u.Edge, -1)
 			}
 		case SetWeight:
 			mt.r.SetEdgeWeight(u.Edge, u.Weight)
@@ -177,7 +196,15 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 			// bookkeeping, and the current matching stays as the seed.
 			mt.repair(nil, 0, &rep)
 		} else {
-			mt.repair(mt.inRegion, count, &rep)
+			// The engine's active mask is both the repair's region mask
+			// and its execution schedule: only region nodes are stepped
+			// (FullSweep instead snapshots the mask and steps everyone —
+			// the PR-4 baseline the fuzz suite replays against).
+			region := mt.r.ActiveMask()
+			if mt.opts.FullSweep {
+				region = mt.snapshotRegion()
+			}
+			mt.repair(region, count, &rep)
 		}
 	}
 
@@ -207,68 +234,88 @@ func (mt *Maintainer) Audit() ApplyReport {
 	return rep
 }
 
-// markDirty records both endpoints of a liveness-changed edge.
-func (mt *Maintainer) markDirty(e int) {
+// markDirty records both endpoints of a liveness-changed edge and keeps
+// the per-node live degrees — and the liveList membership the audits
+// restrict to — current (delta is +1 insert, −1 delete).
+func (mt *Maintainer) markDirty(e, delta int) {
 	x, y := mt.g.Endpoints(e)
 	mt.dirty = append(mt.dirty, int32(x), int32(y))
+	mt.bumpLiveDeg(x, int32(delta))
+	mt.bumpLiveDeg(y, int32(delta))
 }
 
-// growRegion computes inRegion: the ≤(2K−1)-hop ball around the dirty nodes
-// over live edges, closed under matching edges so no frozen node can be
-// separated from its mate. Returns the region size.
-func (mt *Maintainer) growRegion() int {
-	g := mt.g
-	in := mt.inRegion
-	clear(in)
-	count := 0
-	frontier := mt.frontier[:0]
-	for _, v := range mt.dirty {
-		if !in[v] {
-			in[v] = true
-			count++
-			frontier = append(frontier, v)
-		}
+// bumpLiveDeg adjusts one node's live degree, tracking 0↔1 transitions
+// in liveList by swap-remove so audit-set construction is O(1) per
+// update instead of a per-audit slab scan.
+func (mt *Maintainer) bumpLiveDeg(v int, delta int32) {
+	mt.liveDeg[v] += delta
+	switch {
+	case mt.liveDeg[v] == delta && delta > 0: // 0 → 1: join
+		mt.livePos[v] = int32(len(mt.liveList))
+		mt.liveList = append(mt.liveList, int32(v))
+	case mt.liveDeg[v] == 0 && delta < 0: // 1 → 0: leave
+		last := len(mt.liveList) - 1
+		p := mt.livePos[v]
+		moved := mt.liveList[last]
+		mt.liveList[p] = moved
+		mt.livePos[moved] = p
+		mt.liveList = mt.liveList[:last]
+		mt.livePos[v] = -1
 	}
+}
+
+// growRegion installs the repair region as the Runner's active set: the
+// ≤(2K−1)-hop ball around the dirty nodes over live edges, closed under
+// matching edges so no frozen node can be separated from its mate.
+// Returns the region size. Cost is O(region volume) — the engine grows
+// the ball from its CSR tables, and the mate closure walks only the
+// region members.
+func (mt *Maintainer) growRegion() int {
+	r := mt.r
+	r.SetActive(mt.dirty)
 	// A new augmenting path of length ≤ 2K−1 must pass through a touched
 	// node, so every node of it lies within 2K−1 hops of one.
-	depth := 2*mt.opts.K - 1
-	next := mt.scratch[:0]
-	for d := 0; d < depth && len(frontier) > 0; d++ {
-		next = next[:0]
-		for _, v := range frontier {
-			for p := 0; p < g.Deg(int(v)); p++ {
-				if !mt.live[g.EdgeAt(int(v), p)] {
-					continue
-				}
-				u := int32(g.NbrAt(int(v), p))
-				if !in[u] {
-					in[u] = true
-					count++
-					next = append(next, u)
-				}
-			}
-		}
-		frontier, next = next, frontier
-	}
-	mt.frontier, mt.scratch = frontier[:0], next[:0]
+	r.ExpandByHops(2*mt.opts.K - 1)
 	// Mate closure: a region node matched across the boundary pulls its
-	// mate in (one pass suffices — a mate's mate is the node itself).
-	for v := 0; v < g.N(); v++ {
-		if in[v] && mt.matchedEdge[v] >= 0 {
-			u := g.Other(int(mt.matchedEdge[v]), v)
-			if !in[u] {
-				in[u] = true
-				count++
-			}
+	// mate in (one pass over the pre-closure members suffices — a mate's
+	// mate is the node itself). Snapshot the members first: ActivateNode
+	// mutates the set, which invalidates the ActiveNodes view.
+	mt.scratch = append(mt.scratch[:0], r.ActiveNodes()...)
+	for _, v := range mt.scratch {
+		if me := mt.matchedEdge[v]; me >= 0 {
+			r.ActivateNode(mt.g.Other(int(me), int(v)))
 		}
 	}
-	return count
+	return r.ActiveCount()
+}
+
+// snapshotRegion copies the Runner's active set into the Maintainer's own
+// region mask and clears it, so a FullSweep repair sees the identical
+// region while the engine still steps every node — the differential
+// baseline for the active-set fuzz suite.
+func (mt *Maintainer) snapshotRegion() []bool {
+	if mt.region == nil {
+		mt.region = make([]bool, mt.g.N())
+	}
+	for _, v := range mt.regionList {
+		mt.region[v] = false
+	}
+	mt.regionList = append(mt.regionList[:0], mt.r.ActiveNodes()...)
+	for _, v := range mt.regionList {
+		mt.region[v] = true
+	}
+	mt.r.ClearActive()
+	return mt.region
 }
 
 // repair runs the phase machinery over region (nil = full graph, with
 // regionNodes its precomputed size from growRegion) and folds the cost
-// into rep and the totals.
+// into rep and the totals. A nil region clears the active set: a full
+// pass steps everyone.
 func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
+	if region == nil {
+		mt.r.ClearActive()
+	}
 	st := mt.repairer.Repair(mt.nextSeed(), region)
 	mt.cached = nil
 	nodes := mt.g.N()
@@ -289,7 +336,7 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 func (mt *Maintainer) audit(rep *ApplyReport) {
 	rep.Audited = true
 	probe := 2*mt.opts.K - 1
-	r, st := check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	r, st := mt.probeCertificate(probe)
 	mt.totals.Audits++
 	mt.addCost(rep, st)
 	if !r.Valid {
@@ -304,7 +351,7 @@ func (mt *Maintainer) audit(rep *ApplyReport) {
 	// current matching) and re-certify.
 	mt.totals.AuditFailures++
 	mt.repair(nil, 0, rep)
-	r, st = check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	r, st = mt.probeCertificate(probe)
 	mt.totals.Audits++
 	mt.addCost(rep, st)
 	if !r.Valid {
@@ -313,11 +360,32 @@ func (mt *Maintainer) audit(rep *ApplyReport) {
 	rep.CertificateOK = r.ShortestAug == -1
 }
 
+// probeCertificate runs the Berge probe through the shared Runner. Under
+// active-set execution the probe steps only the endpoints of live edges —
+// a set that contains every matched node and that no live edge (hence no
+// probe message) can cross — so audit rounds cost O(live subgraph), not
+// O(slab). Node 0 rides along when no edge is live, purely so the
+// protocol's fixed round structure still executes and the report is
+// written; messages, rounds and outcomes are bit-identical to a
+// full-sweep audit (TestFuzzDynamicAuditEquivalence).
+func (mt *Maintainer) probeCertificate(probe int) (check.Report, *dist.Stats) {
+	if mt.opts.FullSweep {
+		mt.r.ClearActive()
+	} else if len(mt.liveList) == 0 {
+		mt.r.SetActive([]int32{0})
+	} else {
+		mt.r.SetActive(mt.liveList)
+	}
+	return check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+}
+
 func (mt *Maintainer) addCost(rep *ApplyReport, st *dist.Stats) {
 	rep.Rounds += int64(st.Rounds)
 	rep.Messages += st.Messages
+	rep.NodeRounds += st.NodeRounds
 	mt.totals.Rounds += int64(st.Rounds)
 	mt.totals.Messages += st.Messages
+	mt.totals.NodeRounds += st.NodeRounds
 }
 
 func (mt *Maintainer) nextSeed() uint64 {

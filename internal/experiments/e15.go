@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distmatch/internal/dynamic"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+	"distmatch/internal/stats"
+)
+
+// E15Region measures the active-set scheduling claim of PR 5: regional
+// repair cost is ∝ region, not n. Two maintainers replay the identical
+// toggle schedule over a fully live bipartite slab — active-set
+// execution (the default) versus Options.FullSweep (the PR-4 schedule,
+// every node stepped every round) — while the batch size sweeps the
+// dirty-region fraction from a few nodes to most of the graph. Rounds
+// per slot are identical by construction (the bit-identity contract the
+// conformance and fuzz suites pin); the node-rounds columns show the
+// full sweep paying rounds × n regardless of locality while the active
+// schedule pays ≈ rounds × region, so the sweep ratio tracks n/region
+// and collapses toward 1 exactly when the region stops being local
+// (MaxRegionFrac overflows into warm full repairs). Audits are disabled
+// to isolate repair scaling; scripts/bench_compare.sh records the
+// wall-clock twin of the small-batch point (with audits on) into
+// BENCH_pr5.json as dynamic_region.
+func E15Region(cfg Config) *stats.Table {
+	t := stats.NewTable("E15 · active-set repair — sweep cost ∝ region, not n",
+		"n", "batch", "region/slot", "frac", "rounds/slot",
+		"node-rounds/slot act|full", "sweep-ratio")
+	half := cfg.pick(512, 2048)
+	slots := cfg.pick(40, 120)
+	g := gen.BipartiteRegular(rng.New(15), half, 3)
+	n := g.N()
+	for _, batch := range []int{1, 4, 16, 64, 256} {
+		opts := dynamic.Options{K: 2, Seed: cfg.Seed + 15, AuditEvery: -1}
+		fullOpts := opts
+		fullOpts.FullSweep = true
+		act := dynamic.New(g, opts)
+		ref := dynamic.New(g, fullOpts)
+		act.Recompute()
+		ref.Recompute()
+		actBase, refBase := act.Totals(), ref.Totals()
+
+		r := rng.New(cfg.Seed + uint64(batch))
+		for slot := 0; slot < slots; slot++ {
+			b := make(dynamic.Batch, 0, batch)
+			for i := 0; i < batch; i++ {
+				e := r.Intn(g.M())
+				op := dynamic.Delete
+				if !act.Live(e) {
+					op = dynamic.Insert
+				}
+				b = append(b, dynamic.Update{Edge: e, Op: op})
+			}
+			act.Apply(b)
+			ref.Apply(b)
+		}
+		ta, tf := act.Totals(), ref.Totals()
+		repairs := ta.Repairs + ta.Recomputes - actBase.Repairs - actBase.Recomputes
+		region := float64(ta.RegionNodes-actBase.RegionNodes) / float64(max(repairs, 1))
+		actNR := float64(ta.NodeRounds-actBase.NodeRounds) / float64(slots)
+		refNR := float64(tf.NodeRounds-refBase.NodeRounds) / float64(slots)
+		rounds := float64(ta.Rounds-actBase.Rounds) / float64(slots)
+		if ta.Rounds-actBase.Rounds != tf.Rounds-refBase.Rounds {
+			panic("E15: active/full round counts diverged (bit-identity broken)")
+		}
+		ratio := 0.0
+		if actNR > 0 {
+			ratio = refNR / actNR
+		}
+		t.Add(n, batch,
+			fmt.Sprintf("%.0f", region),
+			fmt.Sprintf("%.3f", region/float64(n)),
+			fmt.Sprintf("%.1f", rounds),
+			fmt.Sprintf("%.0f|%.0f", actNR, refNR),
+			fmt.Sprintf("%.1f", ratio))
+		act.Close()
+		ref.Close()
+	}
+	return t
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates an empirical table for every theorem,
-// lemma and figure of the paper (the experiment index E1–E14 of DESIGN.md).
+// lemma and figure of the paper (the experiment index E1–E15 of DESIGN.md).
 // cmd/benchtables prints the full tables; the root bench_test.go runs each
 // experiment in Quick mode as a testing.B benchmark; EXPERIMENTS.md records
 // paper-claim versus measured outcome for each.
@@ -42,7 +42,7 @@ func All(cfg Config) []*stats.Table {
 		E1Generic(cfg), E2Bipartite(cfg), E3Counting(cfg), E4General(cfg),
 		E5Survival(cfg), E6Weighted(cfg), E7Quarter(cfg), E8Baselines(cfg),
 		E9Switch(cfg), E10MessageBits(cfg), E11LocalSearch(cfg), E12Trees(cfg),
-		E13Variance(cfg), E14Dynamic(cfg),
+		E13Variance(cfg), E14Dynamic(cfg), E15Region(cfg),
 	}
 }
 

@@ -218,10 +218,38 @@ func TestE14(t *testing.T) {
 	}
 }
 
+func TestE15(t *testing.T) {
+	tb := E15Region(quickCfg)
+	checkTable(t, tb, 5)
+	var prev float64
+	for i, r := range tb.Rows {
+		var frac, ratio float64
+		if _, err := fmt.Sscanf(r[3], "%f", &frac); err != nil {
+			t.Fatalf("unparseable region fraction in %v", r)
+		}
+		if _, err := fmt.Sscanf(r[6], "%f", &ratio); err != nil {
+			t.Fatalf("unparseable sweep ratio in %v", r)
+		}
+		if ratio < 1-1e-9 {
+			t.Fatalf("active-set execution swept more than the full sweep: %v", r)
+		}
+		// Small regions must show a large sweep win, and the win must
+		// decay as the region fraction grows toward the whole graph —
+		// the cost ∝ region claim in both directions.
+		if i == 0 && (frac > 0.2 || ratio < 4) {
+			t.Fatalf("small-batch row shows no locality win: %v", r)
+		}
+		if i > 0 && ratio > prev+1e-9 {
+			t.Fatalf("sweep ratio did not decay with region fraction: %v after %.2f", r, prev)
+		}
+		prev = ratio
+	}
+}
+
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(quickCfg)
-	if len(tables) != 14 {
-		t.Fatalf("All returned %d tables, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("All returned %d tables, want 15", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {

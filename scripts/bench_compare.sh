@@ -1,25 +1,26 @@
 #!/usr/bin/env bash
-# Records the backend and batching comparisons into BENCH_pr4.json:
+# Records the backend and batching comparisons into BENCH_pr5.json:
 # node-rounds/s per protocol per backend with the flat/coro speedup
 # (engine round loop, Israeli-Itai, MIS, LPR quarter, the core pipeline
 # and LocalGreedy), the multi-worker scaling sweep (Config.Workers in
-# {1,2,4,8,16}), the batch-runner amortization pair — and, new in PR 4,
-# the dynamic-maintainer pair: ns per switch slot served incrementally
-# (diff + regional repair on one persistent engine) versus the status-quo
-# per-slot recompute (fresh request graph + fresh engine + cold
-# BipartiteMCM). Extends the BENCH trajectory (BENCH_baseline.json,
-# BENCH_pr2.json, BENCH_pr3.json).
+# {1,2,4,8,16}), the batch-runner amortization pair, the PR-4
+# dynamic-maintainer switch pair — and, new in PR 5, the active-set
+# region-repair pair: ns per small-batch maintenance slot on a 4096-node
+# slab with the engine stepping only the repair region versus the PR-4
+# full sweep (identical maintainers, bit-identical matchings; the ratio
+# is pure sweep tax). Extends the BENCH trajectory (BENCH_baseline.json,
+# BENCH_pr2.json, BENCH_pr3.json, BENCH_pr4.json).
 # Run from the repository root: ./scripts/bench_compare.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr4.json
+out=BENCH_pr5.json
 benchtime=${BENCHTIME:-1s}
 
 # The pairs and the worker sweep run as separate invocations: a "/" in a
 # -bench alternation would be treated as a sub-benchmark separator.
 raw=$(go test -run '^$' -benchtime "$benchtime" \
-	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute)$' \
+	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute|BenchmarkDynamicRegionRepairActive|BenchmarkDynamicRegionRepairFullSweep)$' \
 	. 2>&1)
 raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 	-bench '^(BenchmarkEngineRoundWorkers|BenchmarkEngineRoundFlatWorkers)$/^w[0-9]+$' \
@@ -33,7 +34,7 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
 	echo '  "benchtime": "'"$benchtime"'",'
 	echo '  "metric": "node-rounds/s (pairs/scaling), ns/slot (dynamic)",'
-	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run. dynamic_switch compares one 16-port switch slot under bursty(16) traffic at load 0.95: incremental Maintainer (diff + regional repair, persistent engine) vs per-slot DistMCM (fresh request graph + engine + cold BipartiteMCM); E14 reports the rounds/messages twin of this pair.",'
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run. dynamic_switch compares one 16-port switch slot under bursty(16) traffic at load 0.95: incremental Maintainer (diff + regional repair, persistent engine) vs per-slot DistMCM (fresh request graph + engine + cold BipartiteMCM); E14 reports the rounds/messages twin of this pair. dynamic_region compares one small-batch maintenance slot (2-edge toggle, K=2, AuditEvery=16) on a 4096-node 3-regular bipartite slab: active-set execution (engine steps only the repair region) vs Options.FullSweep (every node stepped every round, the PR-4 schedule); matchings are bit-identical, so the speedup is pure sweep tax. E15 reports the node-rounds twin of this pair.",'
 	printf '%s\n' "$raw" | awk '
 		/^Benchmark/ {
 			name=$1; sub(/-[0-9]+$/, "", name)
@@ -73,6 +74,10 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 			full=ns["BenchmarkDynamicSwitchRecompute"]+0
 			printf "  \"dynamic_switch\": {\"incremental_ns_per_slot\": %.0f, \"recompute_ns_per_slot\": %.0f, \"speedup\": %.2f},\n", \
 				inc, full, (inc > 0 ? full/inc : 0)
+			ract=ns["BenchmarkDynamicRegionRepairActive"]+0
+			rfull=ns["BenchmarkDynamicRegionRepairFullSweep"]+0
+			printf "  \"dynamic_region\": {\"active_ns_per_slot\": %.0f, \"fullsweep_ns_per_slot\": %.0f, \"speedup\": %.2f},\n", \
+				ract, rfull, (ract > 0 ? rfull/ract : 0)
 			printf "  \"scaling\": [\n"
 			nw=split("1 2 4 8 16", ws, " ")
 			for (k=1; k<=nw; k++) {
