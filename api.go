@@ -247,6 +247,63 @@ func NewMaintainer(g *Graph, opts MaintainerOptions) *Maintainer {
 	return dynamic.New(g, opts)
 }
 
+// ---- Fault injection and self-healing (chaos hardening) ----
+
+// Fault-injection types, re-exported from the engine: a FaultPlan is a
+// seeded, replayable schedule of node crashes, per-arc message drops and
+// injected panics, consulted at round boundaries of every run it is
+// installed for. Identical plans on identical runs replay bit-identically
+// on either backend.
+type (
+	// FaultPlan is a deterministic fault schedule; build one with
+	// NewFaultPlan or RandomFaultPlan and arm it with
+	// Maintainer.InjectFaults.
+	FaultPlan = dist.FaultPlan
+	// FaultEvent is one scheduled fault (round, kind, target).
+	FaultEvent = dist.FaultEvent
+	// FaultKind distinguishes crashes, message drops and injected panics.
+	FaultKind = dist.FaultKind
+	// FaultProfile shapes RandomFaultPlan's draw.
+	FaultProfile = dist.FaultProfile
+	// InjectedPanic is the panic value a FaultPanic event aborts a run
+	// with; recovered by the Maintainer's fault guard while a plan is
+	// armed.
+	InjectedPanic = dist.InjectedPanic
+)
+
+// The fault kinds of a FaultEvent.
+const (
+	// FaultCrash silences a node from one round boundary on.
+	FaultCrash = dist.FaultCrash
+	// FaultDrop discards the traffic of one edge for one round.
+	FaultDrop = dist.FaultDrop
+	// FaultPanic aborts the run with an InjectedPanic.
+	FaultPanic = dist.FaultPanic
+)
+
+// NewFaultPlan builds a deterministic fault schedule from explicit events.
+func NewFaultPlan(events []FaultEvent) *FaultPlan { return dist.NewFaultPlan(events) }
+
+// RandomFaultPlan draws a seeded random fault schedule for an n-node,
+// m-edge graph; identical seeds give identical plans.
+func RandomFaultPlan(seed uint64, n, m int, profile FaultProfile) *FaultPlan {
+	return dist.RandomFaultPlan(seed, n, m, profile)
+}
+
+// Health is the Maintainer's serving state: Healthy (certified, normal
+// serving), Degraded (a fault survived every recovery level this step;
+// Matching() serves the last good snapshot), Recovering (repaired after a
+// fault, awaiting the certifying audit). See Maintainer.Health and
+// ApplyReport.Health.
+type Health = dynamic.Health
+
+// The Maintainer health states.
+const (
+	Healthy    = dynamic.Healthy
+	Degraded   = dynamic.Degraded
+	Recovering = dynamic.Recovering
+)
+
 // VerifyReport is the outcome of distributed self-verification.
 type VerifyReport = check.Report
 

@@ -7,6 +7,7 @@
 //	distmatch -algo weighted -n 256 -eps 0.1 -weights exp
 //	distmatch -algo israeliitai -graph gnp -n 4096 -deg 8
 //	distmatch -dynamic -n 256 -k 3 -slots 500 -churn 4
+//	distmatch -chaos -n 16 -k 2 -schedules 100
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"distmatch/internal/chaos"
 	"distmatch/internal/core"
 	"distmatch/internal/dist"
 	"distmatch/internal/dynamic"
@@ -42,8 +44,19 @@ func main() {
 	dyn := flag.Bool("dynamic", false, "serve a stream of edge updates with the incremental Maintainer (bipartite slab; -slots/-churn shape the stream) and compare against per-batch full recompute")
 	slots := flag.Int("slots", 500, "dynamic mode: number of update batches")
 	churn := flag.Int("churn", 4, "dynamic mode: edge insert/delete flips per batch")
+	chaosMode := flag.Bool("chaos", false, "run seeded chaos schedules against the incremental Maintainer: random fault plans (crashes, drops, panics) and node crashes under churn, verifying every slot serves a valid matching and the Maintainer heals to a certified (1-1/k) matching; -schedules/-n/-k/-seed/-backend apply")
+	schedules := flag.Int("schedules", 50, "chaos mode: number of seeded schedules")
 	flag.Parse()
 
+	if *chaosMode {
+		nSet := false
+		flag.Visit(func(f *flag.Flag) { nSet = nSet || f.Name == "n" })
+		if !nSet {
+			*n = 8 // chaos drives many schedules; default to a small slab
+		}
+		runChaos(*schedules, *n, *k, *seed, parseBackend(*backend))
+		return
+	}
 	if *dyn {
 		runDynamic(*n, *deg, *k, *seed, *slots, *churn, parseBackend(*backend))
 		return
@@ -106,6 +119,40 @@ func main() {
 			}
 		}
 	}
+}
+
+// runChaos is the -chaos mode: a sweep of seeded fault schedules, each a
+// pure function of its seed (rerun with the printed seed to replay a
+// failure exactly).
+func runChaos(schedules, n, k int, seed uint64, be dist.Backend) {
+	fmt.Printf("chaos: %d schedules, %dx%d slab, k=%d, base seed %d\n", schedules, n, n, k, seed)
+	var faults, degraded, recovering, crashed, cleanSlots int
+	failed := 0
+	for i := 0; i < schedules; i++ {
+		s := seed + uint64(i)
+		res, err := chaos.Run(chaos.Config{Seed: s, NX: n, NY: n, K: k, Backend: be})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+			continue
+		}
+		faults += res.Faults
+		degraded += res.Degraded
+		recovering += res.Recovering
+		crashed += res.Crashed
+		cleanSlots += res.CleanSlots
+	}
+	fmt.Printf("injected:  %d faults survived, %d crashes\n", faults, crashed)
+	fmt.Printf("serving:   %d degraded slots (snapshot served), %d recovering slots\n", degraded, recovering)
+	if ok := schedules - failed; ok > 0 {
+		fmt.Printf("healing:   %.1f clean slots to re-certify on average\n",
+			float64(cleanSlots)/float64(ok))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d schedules FAILED\n", failed, schedules)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d schedules served valid matchings and re-converged\n", schedules)
 }
 
 // runDynamic is the -dynamic mode: one churn stream over a bipartite

@@ -80,9 +80,35 @@ func MatchingRaw(g *graph.Graph, matchedEdge []int32, probeLen int, seed uint64)
 // without materializing it. A matched edge that is dead is reported as
 // invalid (its handshake cannot complete).
 func MatchingOnRunner(r *dist.Runner, matchedEdge []int32, probeLen int, seed uint64) (Report, *dist.Stats) {
+	if r.LiveEdgeCount() == 0 {
+		return emptySubgraphReport(r.Graph(), matchedEdge, probeLen), &dist.Stats{}
+	}
 	rep := Report{ShortestAug: -2}
 	stats := r.RunFlat(seed, flatProgram(matchedEdge, probeLen, &rep))
 	return rep, stats
+}
+
+// emptySubgraphReport is MatchingOnRunner's zero-live-edges short
+// circuit: with every edge dead the protocol has no one to talk to —
+// under an active set of live-edge endpoints there is not even a node to
+// step, which used to leave a degenerate all-false report. The answer is
+// fully determined without a run, and mirrors exactly what the protocol
+// returns on a materialized edgeless subgraph (pinned by
+// TestEmptyLiveSubgraph): only the empty assignment is a valid matching
+// (any claim names a dead edge, whose handshake cannot complete), it is
+// vacuously maximal, and the Berge probe finds no augmenting path.
+func emptySubgraphReport(g *graph.Graph, matchedEdge []int32, probeLen int) Report {
+	rep := Report{Valid: true, Maximal: true, ShortestAug: -2}
+	for _, me := range matchedEdge {
+		if me != -1 {
+			rep.Valid = false
+			break
+		}
+	}
+	if probeLen > 0 && g.IsBipartite() {
+		rep.ShortestAug = -1
+	}
+	return rep
 }
 
 // program is the blocking (coroutine-backend) reference form of the

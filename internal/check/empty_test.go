@@ -1,0 +1,107 @@
+package check
+
+// The zero-live-edges pin: a live subgraph whose every edge is dead via
+// the Runner's activation overlay must verify as a clean empty matching —
+// through MatchingOnRunner's short circuit, through the flat protocol on
+// the materialized subgraph, and (the degenerate case that motivated the
+// fix) under an active set of live-edge endpoints, which is empty.
+
+import (
+	"testing"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+)
+
+func emptyAssignment(n int) []int32 {
+	me := make([]int32, n)
+	for v := range me {
+		me[v] = -1
+	}
+	return me
+}
+
+func TestEmptyLiveSubgraph(t *testing.T) {
+	g := gen.BipartiteGnp(rng.New(3), 6, 6, 0.4)
+	if g.M() == 0 {
+		t.Fatal("generator produced no edges")
+	}
+	r := dist.NewRunner(g, dist.Config{})
+	defer r.Close()
+	r.SetAllEdgesLive(false)
+	if r.LiveEdgeCount() != 0 {
+		t.Fatalf("LiveEdgeCount = %d after killing every edge", r.LiveEdgeCount())
+	}
+
+	// The Maintainer's audit shape: active set = endpoints of live edges,
+	// which is empty here. Before the short circuit this stepped no nodes
+	// and returned a degenerate all-false report.
+	r.SetActive([]int32{})
+	rep, stats := MatchingOnRunner(r, emptyAssignment(g.N()), 3, 7)
+	if !rep.Valid || !rep.Maximal {
+		t.Fatalf("empty matching on empty live subgraph rejected: %+v", rep)
+	}
+	if rep.ShortestAug != -1 {
+		t.Fatalf("ShortestAug = %d, want -1 (no augmenting path exists)", rep.ShortestAug)
+	}
+	if rep.ApproxCertificate(3) != 2 {
+		t.Fatalf("empty matching on empty subgraph must certify (1-1/2): %+v", rep)
+	}
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Fatalf("short circuit ran the engine: %+v", stats)
+	}
+
+	// A full-sweep audit must agree, as must the independent fresh-graph
+	// protocol on the materialized (edgeless) live subgraph.
+	r.ClearActive()
+	repFull, _ := MatchingOnRunner(r, emptyAssignment(g.N()), 3, 7)
+	if repFull != rep {
+		t.Fatalf("full-sweep report %+v != restricted report %+v", repFull, rep)
+	}
+	lg := r.LiveSubgraph()
+	if lg.M() != 0 {
+		t.Fatalf("materialized live subgraph has %d edges", lg.M())
+	}
+	repRaw, _ := MatchingRaw(lg, emptyAssignment(lg.N()), 3, 7)
+	if repRaw != rep {
+		t.Fatalf("fresh-graph report %+v != runner report %+v", repRaw, rep)
+	}
+
+	// A stale claim names a dead edge: invalid, still vacuously maximal,
+	// and the verdict matches the materialized protocol's.
+	stale := emptyAssignment(g.N())
+	u, v := g.Endpoints(0)
+	stale[u], stale[v] = 0, 0
+	repStale, _ := MatchingOnRunner(r, stale, 3, 7)
+	if repStale.Valid || !repStale.Maximal {
+		t.Fatalf("stale claim on dead edge: %+v", repStale)
+	}
+	repStaleRaw, _ := MatchingRaw(lg, stale, 3, 7)
+	if repStaleRaw.Valid != repStale.Valid || repStaleRaw.Maximal != repStale.Maximal {
+		t.Fatalf("stale verdicts diverge: runner %+v raw %+v", repStale, repStaleRaw)
+	}
+
+	// Reviving one edge leaves the short circuit behind: the probe runs
+	// again and certifies the (now non-empty) situation honestly — an
+	// empty matching next to a live edge is not maximal.
+	r.SetEdgeLive(0, true)
+	repLive, st := MatchingOnRunner(r, emptyAssignment(g.N()), 3, 8)
+	if !repLive.Valid || repLive.Maximal || st.Rounds == 0 {
+		t.Fatalf("revived edge not probed: %+v %+v", repLive, st)
+	}
+
+	// Non-bipartite: the Berge probe is skipped, mirrored by the short
+	// circuit's -2.
+	ng := gen.Gnp(rng.New(5), 8, 0.4)
+	if ng.M() == 0 || ng.IsBipartite() {
+		t.Skip("generator produced a degenerate graph")
+	}
+	nr := dist.NewRunner(ng, dist.Config{})
+	defer nr.Close()
+	nr.SetAllEdgesLive(false)
+	repN, _ := MatchingOnRunner(nr, emptyAssignment(ng.N()), 3, 7)
+	if !repN.Valid || !repN.Maximal || repN.ShortestAug != -2 {
+		t.Fatalf("non-bipartite empty subgraph: %+v", repN)
+	}
+}

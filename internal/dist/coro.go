@@ -46,6 +46,13 @@ func newPooledCoro() *pooledCoro {
 			if !yield(struct{}{}) {
 				return // pool shutdown (stop)
 			}
+			if pc.nd == nil {
+				// A resume without a binding means an engine holds a stale
+				// node→coroutine reference; a panic here surfaces the bug
+				// instead of silently running a nil program (and, worse,
+				// leaving the caller spinning on a no-op resume forever).
+				panic("dist: pooled coroutine resumed while idle")
+			}
 			pc.nd.runProgram(pc.prog)
 			pc.nd, pc.prog = nil, nil
 		}
@@ -94,6 +101,15 @@ func grabCoros(n int) []*pooledCoro {
 // releaseCoros returns idle coroutines to the pool, dropping (stopping)
 // any overflow beyond the pool's capacity.
 func releaseCoros(pcs []*pooledCoro) {
+	// A coroutine whose program never started (a fault abort before the
+	// first round) comes back still carrying its binding, parked at the
+	// idle yield. Drop the binding so pool entries never reference dead
+	// runs; bind() would overwrite it anyway, but a stale pair kept alive
+	// through the pool is exactly the kind of reference a reuse bug feeds
+	// on.
+	for _, pc := range pcs {
+		pc.nd, pc.prog = nil, nil
+	}
 	coroPool.Lock()
 	room := coroPoolCap - len(coroPool.idle)
 	if room > len(pcs) {

@@ -78,6 +78,11 @@ type Config struct {
 	// run-to-run control use the Runner mutation API (SetActive,
 	// ExpandByHops, ClearActive) instead.
 	ActiveSet []int32
+	// Faults installs a deterministic fault schedule the engine applies at
+	// round boundaries (see fault.go): node crashes, in-flight message
+	// drops, injected panics. nil means a fault-free run. For run-to-run
+	// control use Runner.SetFaultPlan instead.
+	Faults *FaultPlan
 }
 
 // abortPanic unwinds a node program when the engine cancels the run; the
@@ -98,7 +103,7 @@ type Node struct {
 	base int32 // first directed-arc index in the engine's flat port tables
 
 	done    bool // program returned (or was unwound); never step again
-	started bool // flat backend: Init already ran
+	started bool // flat: Init already ran; coroutine: program body entered
 
 	eng *engine
 	wk  *worker // owning chunk worker; parked while the program runs
@@ -177,6 +182,13 @@ func (nd *Node) Send(p int, msg Message) {
 	if lv := e.liveEdge; lv != nil && !lv[e.eid[nd.base+int32(p)]] {
 		return
 	}
+	if cr := e.crashed; cr != nil && cr[e.nbr[nd.base+int32(p)]] {
+		// Crashed receiver: unlike a dead edge, the link exists and the
+		// sender cannot know — the send is charged, then lost.
+		nd.account(msg.Bits(), 1)
+		nd.wk.suppressed++
+		return
+	}
 	e.nxt[e.dest[nd.base+int32(p)]] = msg
 	nd.account(msg.Bits(), 1)
 }
@@ -194,18 +206,27 @@ func (nd *Node) SendAll(msg Message) {
 	e := nd.eng
 	nxt := e.nxt
 	dest := e.dest[nd.base : int(nd.base)+deg]
-	if lv := e.liveEdge; lv != nil {
+	if e.liveEdge != nil || e.crashed != nil {
+		lv, cr := e.liveEdge, e.crashed
 		eid := e.eid[nd.base : int(nd.base)+deg]
-		sent := 0
+		nbr := e.nbr[nd.base : int(nd.base)+deg]
+		sent, lost := 0, 0
 		for i, d := range dest {
-			if lv[eid[i]] {
-				nxt[d] = msg
-				sent++
+			if lv != nil && !lv[eid[i]] {
+				continue // dead edge: the link does not exist, no charge
 			}
+			if cr != nil && cr[nbr[i]] {
+				sent++ // crashed receiver: charged, then lost
+				lost++
+				continue
+			}
+			nxt[d] = msg
+			sent++
 		}
 		if sent > 0 {
 			nd.account(msg.Bits(), sent)
 		}
+		nd.wk.suppressed += int64(lost)
 		return
 	}
 	for _, d := range dest {
@@ -275,6 +296,11 @@ func (nd *Node) park() {
 		// and swallowed by runProgram).
 		panic(abortPanic{})
 	}
+	if cr := nd.eng.crashed; cr != nil && cr[nd.id] {
+		// killNode resumed this program exactly once so it unwinds here;
+		// the node is permanently silent from this boundary on.
+		panic(abortPanic{})
+	}
 }
 
 // runProgram is the coroutine body. It recovers every panic on the
@@ -292,6 +318,7 @@ func (nd *Node) runProgram(program func(*Node)) {
 		nd.done = true
 		nd.wk.done++
 	}()
+	nd.started = true
 	program(nd)
 }
 
@@ -399,6 +426,9 @@ type engine struct {
 	// the graph).
 	liveEdge []bool
 	weights  []float64
+	// liveCount is the number of live edges under the mask; meaningful
+	// only while liveEdge != nil (no mask ⇒ every edge live).
+	liveCount int
 
 	// Double-buffered mailboxes, one slot per directed arc. Programs read
 	// cur (clearing their own slots) and write nxt; the barrier swaps.
@@ -428,6 +458,19 @@ type engine struct {
 	reporter     int32
 	prevAll      bool
 	prevDirty    []int32
+
+	// Fault injection state (see fault.go). faults is the installed plan
+	// (nil ⇒ fault-free); faultIdx is the next unfired event; roundIdx
+	// counts executed sweeps so events address round boundaries. crashed
+	// marks permanently silenced nodes (nil ⇒ none; crashSlab retains the
+	// allocation across Runner resets, like actSlab); crashedList drives
+	// the O(crashes) reset that keeps a faulted Runner slab reusable.
+	faults      *FaultPlan
+	faultIdx    int
+	roundIdx    int
+	crashed     []bool
+	crashSlab   []bool
+	crashedList []int32
 
 	// aborting makes every subsequent park unwind its program; set (only)
 	// before the abortLive sweep.
@@ -463,9 +506,10 @@ type worker struct {
 	maxCnt  int
 	or      bool
 	max     float64
-	msgs    int64
-	bits    int64
-	maxBits int32
+	msgs       int64
+	bits       int64
+	suppressed int64
+	maxBits    int32
 
 	panicID  int // lowest node id that panicked this run, -1 if none
 	panicVal any
@@ -484,7 +528,7 @@ func (w *worker) notePanic(id int, v any) {
 func (w *worker) runRound() {
 	w.parked, w.done, w.orCnt, w.maxCnt = 0, 0, 0, 0
 	w.or, w.max = false, math.Inf(-1)
-	w.msgs, w.bits, w.maxBits = 0, 0, 0
+	w.msgs, w.bits, w.suppressed, w.maxBits = 0, 0, 0, 0
 	if w.e.progs != nil {
 		w.flatSweep()
 		return
@@ -617,6 +661,10 @@ func newEngine(g *graph.Graph, cfg Config) *engine {
 	if cfg.ActiveSet != nil && n > 0 {
 		e.installActive(cfg.ActiveSet)
 	}
+	if cfg.Faults != nil {
+		cfg.Faults.validateFor(n, g.M())
+		e.faults = cfg.Faults
+	}
 	e.planSweep()
 	return e
 }
@@ -624,7 +672,14 @@ func newEngine(g *graph.Graph, cfg Config) *engine {
 func (e *engine) loop() {
 	live := e.activeCount()
 	for live > 0 {
+		if e.faults != nil {
+			live -= e.applyFaults()
+			if live <= 0 {
+				break
+			}
+		}
 		e.runRound()
+		e.roundIdx++
 		agg := e.combine()
 		if agg.panicID != -1 {
 			e.abortLive()
@@ -634,6 +689,7 @@ func (e *engine) loop() {
 		e.stats.NodeRounds += int64(agg.parked) + int64(agg.done)
 		e.stats.Messages += agg.msgs
 		e.stats.Bits += agg.bits
+		e.stats.SuppressedMessages += agg.suppressed
 		if agg.parked == 0 {
 			// Final segments only: every remaining program returned
 			// without another barrier, so no round is charged.
@@ -706,6 +762,7 @@ func (e *engine) combine() worker {
 		}
 		agg.msgs += w.msgs
 		agg.bits += w.bits
+		agg.suppressed += w.suppressed
 		if w.maxBits > agg.maxBits {
 			agg.maxBits = w.maxBits
 		}
@@ -721,8 +778,14 @@ func (e *engine) combine() worker {
 // backend that means unwinding: with aborting set, each resumed park panics
 // an abortPanic, which runProgram recovers, and the coroutine drops back to
 // its idle loop — afterwards every coroutine of the run is idle and
-// poolable again. On the flat backend there is no suspended stack to
-// unwind; marking the nodes done is the whole job.
+// poolable again. A node that never entered its program body (a fault
+// abort before the first round) is only marked done: its coroutine is
+// already at the dispatch loop's idle point, and resuming it would
+// instead START the program and leave it suspended at its first park —
+// a mid-program coroutine that must never reach the pool, where a later
+// run would rebind it and resume the stale program against reset engine
+// state. On the flat backend there is no suspended stack to unwind;
+// marking the nodes done is the whole job.
 func (e *engine) abortLive() {
 	e.aborting = true
 	if e.progs != nil {
@@ -732,7 +795,9 @@ func (e *engine) abortLive() {
 	e.forEachActive(func(nd *Node) {
 		if !nd.done {
 			nd.done = true
-			nd.next()
+			if nd.started {
+				nd.next()
+			}
 		}
 	})
 }

@@ -45,6 +45,14 @@ func (r *Runner) SetEdgeLive(e int, live bool) {
 		for i := range eng.liveEdge {
 			eng.liveEdge[i] = true
 		}
+		eng.liveCount = eng.g.M()
+	}
+	if eng.liveEdge[e] != live {
+		if live {
+			eng.liveCount++
+		} else {
+			eng.liveCount--
+		}
 	}
 	eng.liveEdge[e] = live
 }
@@ -70,6 +78,11 @@ func (r *Runner) SetAllEdgesLive(live bool) {
 	}
 	for i := range eng.liveEdge {
 		eng.liveEdge[i] = live
+	}
+	if live {
+		eng.liveCount = eng.g.M()
+	} else {
+		eng.liveCount = 0
 	}
 }
 
@@ -106,6 +119,20 @@ func (r *Runner) EdgeWeight(e int) float64 {
 func (r *Runner) ResetTopology() {
 	eng := r.check()
 	eng.liveEdge, eng.weights = nil, nil
+	eng.liveCount = 0
+}
+
+// LiveEdgeCount returns the number of live edges under the activation
+// mask (m when none is installed). O(1): the count is maintained
+// incrementally by the mutation API — this is what lets consumers detect
+// the all-edges-dead subgraph without an O(m) scan (see
+// check.MatchingOnRunner's empty-subgraph short-circuit).
+func (r *Runner) LiveEdgeCount() int {
+	eng := r.check()
+	if eng.liveEdge == nil {
+		return eng.g.M()
+	}
+	return eng.liveCount
 }
 
 // LiveSubgraph materializes the current activation mask and weight

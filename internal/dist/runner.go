@@ -73,6 +73,28 @@ func (r *Runner) RunFlat(seed uint64, factory func(nd *Node) RoundProgram) *Stat
 	return &st
 }
 
+// SetFaultPlan installs (or, with nil, removes) a deterministic fault
+// schedule for all subsequent runs; see fault.go. Each run replays the
+// plan from its first event — the plan describes one run, not a
+// lifetime — so a plan stays installed until replaced. A faulted run
+// leaves the Runner reusable: after clearing the plan, the next run is
+// bit-identical to a fresh engine (TestFaultRunnerReusable).
+func (r *Runner) SetFaultPlan(p *FaultPlan) {
+	eng := r.check()
+	if p != nil {
+		p.validateFor(eng.n, eng.g.M())
+	}
+	eng.faults = p
+}
+
+// SetMaxRounds replaces the Config.MaxRounds abort bound for subsequent
+// runs (0 removes it). Fault consumers install one as a safety net:
+// message loss can starve a convergence oracle, and an unbounded faulted
+// run would otherwise spin forever.
+func (r *Runner) SetMaxRounds(n int) {
+	r.check().cfg.MaxRounds = n
+}
+
 // Close releases the Runner's dispatch goroutines. Further runs panic.
 func (r *Runner) Close() {
 	if r.closed {
@@ -115,6 +137,17 @@ func (e *engine) reset(seed uint64) {
 	})
 	for i := range e.workers {
 		e.workers[i].panicID, e.workers[i].panicVal = -1, nil
+	}
+	// Fault state: the plan replays from its first event each run; crash
+	// marks are cleared in O(crashes) via the list, and the mask reverts
+	// to nil so fault-free runs keep the fast send path.
+	e.faultIdx, e.roundIdx = 0, 0
+	if e.crashed != nil {
+		for _, v := range e.crashedList {
+			e.crashed[v] = false
+		}
+		e.crashedList = e.crashedList[:0]
+		e.crashed = nil
 	}
 	e.aborting = false
 	e.orGlobal, e.maxGlobal = false, 0

@@ -140,6 +140,89 @@ func TestRunnerReuseAfterPanic(t *testing.T) {
 	runnerStatsEqual(t, "after maxrounds", want, got2)
 }
 
+// panicOnRoundProgram beacons once, then panics on its first OnRound.
+type panicOnRoundProgram struct{}
+
+func (p *panicOnRoundProgram) Init(nd *Node) bool {
+	nd.SendAll(Signal{})
+	return true
+}
+
+func (p *panicOnRoundProgram) OnRound(nd *Node, in []Incoming) bool {
+	panic("flat active boom")
+}
+
+// TestRunnerActiveSetReuseAfterPanic extends the panic-transport
+// guarantee to active-set execution: a program panic mid-run with a
+// restricted active set must leave the Runner reusable, with the next
+// run over the same slab bit-identical to a fresh engine built with the
+// same restriction — on both backends.
+func TestRunnerActiveSetReuseAfterPanic(t *testing.T) {
+	g := ring(20)
+	active := []int32{2, 3, 4, 5, 6, 7, 8}
+	r := NewRunner(g, Config{Workers: 3})
+	defer r.Close()
+	r.SetActive(active)
+
+	boom := func(nd *Node) {
+		nd.SendAll(Signal{})
+		nd.Step()
+		if nd.ID() == 5 {
+			panic("active boom")
+		}
+		nd.SendAll(Signal{})
+		nd.Step()
+	}
+	func() {
+		defer func() {
+			if rec := recover(); rec != "active boom" {
+				t.Fatalf("expected active boom panic, got %v", rec)
+			}
+		}()
+		r.Run(1, boom)
+	}()
+
+	// Coroutine backend: bit-identical to a fresh restricted engine.
+	out := make([]int64, g.N())
+	got := r.Run(2, runnerWorkload(out))
+	fresh := make([]int64, g.N())
+	want := Run(g, Config{Seed: 2, Workers: 3, ActiveSet: active}, runnerWorkload(fresh))
+	runnerStatsEqual(t, "active after panic", want, got)
+	if !reflect.DeepEqual(fresh, out) {
+		t.Fatalf("outputs differ after active-set panic: %v vs %v", fresh, out)
+	}
+
+	// Flat backend, panicking machine this time.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected flat panic")
+			}
+		}()
+		r.RunFlat(3, func(nd *Node) RoundProgram {
+			if nd.ID() == 6 {
+				return &panicOnRoundProgram{}
+			}
+			return &countdownProgram{left: 4}
+		})
+	}()
+	gotF := r.RunFlat(4, func(*Node) RoundProgram { return &countdownProgram{left: 5} })
+	wantF := RunFlat(g, Config{Seed: 4, Workers: 3, ActiveSet: active},
+		func(*Node) RoundProgram { return &countdownProgram{left: 5} })
+	runnerStatsEqual(t, "active flat after panic", wantF, gotF)
+
+	// Widening back to a full sweep must also match a fresh full engine.
+	r.ClearActive()
+	out2 := make([]int64, g.N())
+	got2 := r.Run(5, runnerWorkload(out2))
+	fresh2 := make([]int64, g.N())
+	want2 := Run(g, Config{Seed: 5, Workers: 3}, runnerWorkload(fresh2))
+	runnerStatsEqual(t, "full after active panic", want2, got2)
+	if !reflect.DeepEqual(fresh2, out2) {
+		t.Fatal("full-sweep outputs differ after active-set panic run")
+	}
+}
+
 // TestRunnerEdgeCases covers the empty graph and use-after-Close.
 func TestRunnerEdgeCases(t *testing.T) {
 	empty := graph.NewBuilder(0).MustBuild()

@@ -28,6 +28,15 @@ type Stats struct {
 	// A real network pays Θ(diameter) rounds per aggregation; experiment
 	// notes convert with graph.Diameter (see DESIGN.md §2).
 	OracleCalls int64
+	// SuppressedMessages counts traffic lost to injected faults (see
+	// fault.go): sends addressed to crashed receivers (charged to
+	// Messages/Bits, then discarded), in-flight messages cleared by a
+	// crash, and messages removed by drop events. Always 0 on a
+	// fault-free run.
+	SuppressedMessages int64
+	// CrashedNodes counts FaultCrash events that removed a running
+	// participant this run.
+	CrashedNodes int
 	// Profile holds one entry per round when Config.Profile is set; nil
 	// otherwise.
 	Profile []RoundProfile

@@ -58,6 +58,38 @@ func (o Op) String() string {
 	return "op?"
 }
 
+// Health is the Maintainer's serving state. Fault-free maintainers are
+// permanently Healthy; the other states exist for fault injection
+// (InjectFaults) and the recovery ladder.
+type Health uint8
+
+const (
+	// Healthy: the matching is maintained normally and, at audited
+	// points, certified (1−1/K)-approximate.
+	Healthy Health = iota
+	// Degraded: the last maintenance attempt was lost to a fault and the
+	// recovery ladder has not yet succeeded. Matching() keeps serving the
+	// last good matching (always valid on the surviving live subgraph,
+	// possibly stale); every subsequent Apply re-enters the ladder.
+	Degraded
+	// Recovering: a ladder repair succeeded and the Maintainer serves its
+	// own matching again, but no audit has certified it yet. Audits run
+	// on every Apply in this state; the first clean one restores Healthy.
+	Recovering
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Recovering:
+		return "recovering"
+	}
+	return "health?"
+}
+
 // Update is one edge mutation, addressed by the edge's id in the slab
 // graph the Maintainer was built over.
 type Update struct {
@@ -106,6 +138,18 @@ type Options struct {
 	// sweep work) differs — which is exactly what the differential fuzz
 	// suite replays and what the region-cost benchmarks compare.
 	FullSweep bool
+	// MaxRetries bounds how many attempts each recovery-ladder level
+	// (regional repair, warm full repair, cold recompute) gets before
+	// escalating to the next. Only consulted after a fault. 0 means the
+	// default 2.
+	MaxRetries int
+	// MaxRounds aborts any single engine run after that many rounds. 0
+	// leaves runs unbounded until a fault plan is armed (InjectFaults),
+	// which installs a safety bound of 4096: injected message loss can
+	// starve a convergence oracle, and a hung repair must surface as a
+	// recoverable fault, not a livelock. Negative keeps runs unbounded
+	// even under faults.
+	MaxRounds int
 	// Workers and Backend configure the underlying engine.
 	Workers int
 	Backend dist.Backend
@@ -123,6 +167,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRegionFrac <= 0 {
 		o.MaxRegionFrac = 0.5
+	}
+	if o.MaxRetries < 1 {
+		o.MaxRetries = 2
 	}
 	return o
 }
@@ -154,6 +201,16 @@ type ApplyReport struct {
 	Rounds     int64
 	Messages   int64
 	NodeRounds int64
+	// Faults counts engine runs this Apply lost to injected faults —
+	// aborted by a panic or rejected by the post-run consistency check.
+	// Always 0 without fault injection.
+	Faults int
+	// RecoveryLevel is the deepest recovery-ladder level this Apply
+	// reached: 0 no recovery needed, 1 regional repair retry, 2 warm full
+	// repair, 3 cold recompute.
+	RecoveryLevel int
+	// Health is the Maintainer's serving state after this Apply.
+	Health Health
 }
 
 // Totals aggregates a Maintainer's lifetime costs, the numbers experiment
@@ -169,4 +226,7 @@ type Totals struct {
 	Rounds        int64 // engine rounds over all runs
 	Messages      int64 // engine messages over all runs
 	NodeRounds    int64 // nodes actually stepped, summed over all rounds
+	Faults        int   // engine runs lost to injected faults
+	Retries       int   // recovery attempts beyond the first of a maintenance step
+	Escalations   int   // recovery-ladder levels exhausted (incl. total exhaustion)
 }

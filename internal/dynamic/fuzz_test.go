@@ -12,6 +12,9 @@ package dynamic
 // feature exists to shrink — may (and must, in aggregate) differ.
 
 import (
+	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"distmatch/internal/check"
@@ -21,6 +24,34 @@ import (
 )
 
 const fuzzSchedules = 220
+
+// fuzzSeeds returns the schedule seeds a fuzz test runs: 0..total-1, or
+// just the one named by DISTMATCH_FUZZ_SEED — the replay handle every
+// fuzz failure message prints. replay is true in the single-seed case,
+// where whole-table aggregate assertions don't apply.
+func fuzzSeeds(t *testing.T, total int) (seeds []uint64, replay bool) {
+	t.Helper()
+	if s := os.Getenv("DISTMATCH_FUZZ_SEED"); s != "" {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DISTMATCH_FUZZ_SEED=%q: %v", s, err)
+		}
+		t.Logf("replaying single schedule seed %d", seed)
+		return []uint64{seed}, true
+	}
+	seeds = make([]uint64, total)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	return seeds, false
+}
+
+// fuzzFail fails the test with the schedule's replay handle attached.
+func fuzzFail(t *testing.T, seed uint64, format string, args ...any) {
+	t.Helper()
+	t.Fatalf("schedule seed %d (replay: DISTMATCH_FUZZ_SEED=%d go test ...): %s",
+		seed, seed, fmt.Sprintf(format, args...))
+}
 
 // fuzzReportsEqual compares everything an Apply reports except the sweep
 // work.
@@ -41,8 +72,8 @@ func fuzzTotalsEqual(a, b Totals) bool {
 func TestFuzzDynamicActiveVsFullSweep(t *testing.T) {
 	var regionalRepairs int
 	var sweepSaved int64
-	for sched := 0; sched < fuzzSchedules; sched++ {
-		seed := uint64(sched)
+	seeds, replay := fuzzSeeds(t, fuzzSchedules)
+	for _, seed := range seeds {
 		r := rng.New(rng.Mix(seed + 1))
 		g := gen.BipartiteGnp(r.Fork(1), 5+r.Intn(8), 5+r.Intn(8), 0.15+0.3*r.Float64())
 		if g.M() == 0 {
@@ -68,30 +99,30 @@ func TestFuzzDynamicActiveVsFullSweep(t *testing.T) {
 			ra := act.Apply(b)
 			rf := ref.Apply(b)
 			if !fuzzReportsEqual(ra, rf) {
-				t.Fatalf("schedule %d step %d: reports diverge\nactive %+v\nfull   %+v", sched, step, ra, rf)
+				fuzzFail(t, seed, "step %d: reports diverge\nactive %+v\nfull   %+v", step, ra, rf)
 			}
 			if ra.NodeRounds > rf.NodeRounds {
-				t.Fatalf("schedule %d step %d: active swept more than full (%d > %d)",
-					sched, step, ra.NodeRounds, rf.NodeRounds)
+				fuzzFail(t, seed, "step %d: active swept more than full (%d > %d)",
+					step, ra.NodeRounds, rf.NodeRounds)
 			}
 			if ka, kf := matchKey(g, act.Matching()), matchKey(g, ref.Matching()); ka != kf {
-				t.Fatalf("schedule %d step %d: matchings diverge: %q vs %q", sched, step, ka, kf)
+				fuzzFail(t, seed, "step %d: matchings diverge: %q vs %q", step, ka, kf)
 			}
 			if ra.Audited {
 				if !ra.CertificateOK {
-					t.Fatalf("schedule %d step %d: audit left an uncertified state: %+v", sched, step, ra)
+					fuzzFail(t, seed, "step %d: audit left an uncertified state: %+v", step, ra)
 				}
 				// Certified state against the centralized exact optimum.
 				opt := exact.MaxCardinality(act.LiveGraph()).Size()
 				if k := act.K(); act.Matching().Size()*k < (k-1)*opt {
-					t.Fatalf("schedule %d step %d: size %d below (1-1/%d) of opt %d",
-						sched, step, act.Matching().Size(), k, opt)
+					fuzzFail(t, seed, "step %d: size %d below (1-1/%d) of opt %d",
+						step, act.Matching().Size(), k, opt)
 				}
 			}
 		}
 		ta, tf := act.Totals(), ref.Totals()
 		if !fuzzTotalsEqual(ta, tf) {
-			t.Fatalf("schedule %d: totals diverge\nactive %+v\nfull   %+v", sched, ta, tf)
+			fuzzFail(t, seed, "totals diverge\nactive %+v\nfull   %+v", ta, tf)
 		}
 		regionalRepairs += ta.Repairs
 		sweepSaved += tf.NodeRounds - ta.NodeRounds
@@ -100,6 +131,10 @@ func TestFuzzDynamicActiveVsFullSweep(t *testing.T) {
 	}
 	// The table must actually have exercised the feature: regional
 	// repairs happened, and active-set execution swept strictly less.
+	// (Not meaningful when replaying a single schedule.)
+	if replay {
+		return
+	}
 	if regionalRepairs == 0 {
 		t.Fatal("fuzz table ran no regional repairs — schedules are miscalibrated")
 	}
@@ -114,14 +149,17 @@ func TestFuzzDynamicActiveVsFullSweep(t *testing.T) {
 // maximality and the shortest-augmenting-path certificate must agree at
 // every audit point of a random schedule.
 func TestFuzzDynamicAuditEquivalence(t *testing.T) {
-	r := rng.New(424242)
-	for trial := 0; trial < 12; trial++ {
-		g := gen.BipartiteGnp(r.Fork(uint64(trial)), 9, 8, 0.3)
+	seeds, _ := fuzzSeeds(t, 12)
+	for _, seed := range seeds {
+		// Each trial is self-contained in its seed (its own rng stream, not
+		// a shared one), so a failure replays alone via DISTMATCH_FUZZ_SEED.
+		r := rng.New(rng.Mix(seed + 424242))
+		g := gen.BipartiteGnp(r.Fork(1), 9, 8, 0.3)
 		if g.M() == 0 {
 			continue
 		}
-		k := 2 + trial%2
-		mt := New(g, Options{K: k, Seed: uint64(trial + 3), StartEmpty: true, AuditEvery: -1})
+		k := 2 + int(seed%2)
+		mt := New(g, Options{K: k, Seed: seed + 3, StartEmpty: true, AuditEvery: -1})
 		for step := 0; step < 20; step++ {
 			mt.Apply(randomBatch(r, mt, 3))
 			// Reference probe of the *pre-audit* state through independent
@@ -140,17 +178,17 @@ func TestFuzzDynamicAuditEquivalence(t *testing.T) {
 			}
 			ref, _ := check.MatchingRaw(lg, me, 2*k-1, uint64(step))
 			if !ref.Valid {
-				t.Fatalf("trial %d step %d: reference verifier rejects the maintained matching", trial, step)
+				fuzzFail(t, seed, "step %d: reference verifier rejects the maintained matching", step)
 			}
 			preFailures := mt.Totals().AuditFailures
 			rep := mt.Audit() // the restricted, engine-shared audit
 			failed := mt.Totals().AuditFailures > preFailures
 			if refAug := ref.ShortestAug != -1; failed != refAug {
-				t.Fatalf("trial %d step %d: restricted audit failed=%v, reference found aug=%v (len %d)",
-					trial, step, failed, refAug, ref.ShortestAug)
+				fuzzFail(t, seed, "step %d: restricted audit failed=%v, reference found aug=%v (len %d)",
+					step, failed, refAug, ref.ShortestAug)
 			}
 			if !rep.CertificateOK {
-				t.Fatalf("trial %d step %d: audit did not restore the certificate: %+v", trial, step, rep)
+				fuzzFail(t, seed, "step %d: audit did not restore the certificate: %+v", step, rep)
 			}
 		}
 		mt.Close()

@@ -45,6 +45,23 @@ type Maintainer struct {
 	region     []bool
 	regionList []int32
 
+	// Recovery state. armed is true while a fault plan is installed
+	// (InjectFaults): only then are engine panics treated as injected and
+	// recovered — unarmed, a panic is a real bug and propagates. lastGood
+	// is the last consistent matching (allocated on first arming, scrubbed
+	// on Delete, refreshed after every non-Degraded Apply); Matching()
+	// serves it while Degraded. auditIn counts applies down to the next
+	// periodic audit at the current adaptive cadence curAudit, which
+	// tightens (halves) after a failure and relaxes (+1, up to
+	// Options.AuditEvery) after each clean audit.
+	armed         bool
+	health        Health
+	justRecovered bool
+	lastGood      []int32
+	cachedGood    *graph.Matching
+	auditIn       int
+	curAudit      int
+
 	runCtr uint64
 	totals Totals
 }
@@ -69,6 +86,12 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 	for v := range mt.matchedEdge {
 		mt.matchedEdge[v] = -1
 		mt.livePos[v] = -1
+	}
+	if opts.AuditEvery > 0 {
+		mt.curAudit, mt.auditIn = opts.AuditEvery, opts.AuditEvery
+	}
+	if opts.MaxRounds > 0 {
+		mt.r.SetMaxRounds(opts.MaxRounds)
 	}
 	mt.repairer = core.NewBipartiteRepairer(mt.r, mt.matchedEdge, core.RepairOptions{
 		K:       opts.K,
@@ -111,9 +134,18 @@ func (mt *Maintainer) Totals() Totals { return mt.totals }
 func (mt *Maintainer) Close() { mt.r.Close() }
 
 // Matching returns the maintained matching (over the slab's node ids;
-// every matched edge is live). The value is cached until the next Apply
-// or Recompute and must be treated as read-only.
+// every matched edge is live). While Degraded it serves the last good
+// matching instead — valid on the surviving live subgraph (deletes
+// scrub it), possibly stale — so serving never stops during recovery.
+// The value is cached until the next Apply or Recompute and must be
+// treated as read-only.
 func (mt *Maintainer) Matching() *graph.Matching {
+	if mt.health == Degraded {
+		if mt.cachedGood == nil {
+			mt.cachedGood = graph.CollectMatching(mt.g, mt.lastGood)
+		}
+		return mt.cachedGood
+	}
 	if mt.cached == nil {
 		mt.cached = graph.CollectMatching(mt.g, mt.matchedEdge)
 	}
@@ -167,6 +199,14 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 				if mt.matchedEdge[x] == int32(u.Edge) {
 					mt.matchedEdge[x], mt.matchedEdge[y] = -1, -1
 				}
+				if mt.lastGood != nil && mt.lastGood[x] == int32(u.Edge) {
+					// The served snapshot must stay valid on the surviving
+					// live subgraph even while Degraded: a deleted edge
+					// leaves it immediately (the matching shrinks; it never
+					// lies).
+					mt.lastGood[x], mt.lastGood[y] = -1, -1
+					mt.cachedGood = nil
+				}
 				mt.markDirty(u.Edge, -1)
 			}
 		case SetWeight:
@@ -176,6 +216,33 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 	rep.Touched = len(mt.dirty)
 	mt.totals.Touched += int64(rep.Touched)
 
+	mt.maintain(&rep)
+	mt.maybeAudit(&rep)
+
+	if mt.lastGood != nil && mt.health != Degraded {
+		// The matching is consistent here (the fault guard checked), so it
+		// becomes the snapshot served if the next attempt is lost.
+		copy(mt.lastGood, mt.matchedEdge)
+		mt.cachedGood = nil
+	}
+	rep.Health = mt.health
+	return rep
+}
+
+// maintain runs the batch's maintenance step. The fault-free, Healthy
+// path is exactly maintainOnce; with a fault plan armed — or while still
+// recovering from one — every step instead runs under the recovery
+// ladder's attempt/escalate loop.
+func (mt *Maintainer) maintain(rep *ApplyReport) {
+	if !mt.armed && mt.health == Healthy {
+		mt.maintainOnce(rep)
+		return
+	}
+	mt.ladder(rep)
+}
+
+// maintainOnce is one maintenance step under the normal policy.
+func (mt *Maintainer) maintainOnce(rep *ApplyReport) {
 	switch {
 	case mt.opts.AlwaysRecompute:
 		// The measurement baseline: a cold solve on every Apply — empty
@@ -186,32 +253,33 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 			mt.matchedEdge[v] = -1
 		}
 		mt.cached = nil
-		mt.repair(nil, 0, &rep)
+		mt.repair(nil, 0, rep)
 	case len(mt.dirty) == 0:
 		// Nothing structural changed: the matching stands as is.
 	default:
-		mt.cached = nil
-		if count := mt.growRegion(); float64(count) > mt.opts.MaxRegionFrac*float64(mt.g.N()) {
-			// Region overflow: one warm full-graph pass beats regional
-			// bookkeeping, and the current matching stays as the seed.
-			mt.repair(nil, 0, &rep)
-		} else {
-			// The engine's active mask is both the repair's region mask
-			// and its execution schedule: only region nodes are stepped
-			// (FullSweep instead snapshots the mask and steps everyone —
-			// the PR-4 baseline the fuzz suite replays against).
-			region := mt.r.ActiveMask()
-			if mt.opts.FullSweep {
-				region = mt.snapshotRegion()
-			}
-			mt.repair(region, count, &rep)
-		}
+		mt.repairDirtyRegion(rep)
 	}
+}
 
-	if mt.opts.AuditEvery > 0 && mt.totals.Applies%mt.opts.AuditEvery == 0 {
-		mt.audit(&rep)
+// repairDirtyRegion repairs the region grown from the current dirty
+// seeds, falling back to a warm full pass on overflow.
+func (mt *Maintainer) repairDirtyRegion(rep *ApplyReport) {
+	mt.cached = nil
+	if count := mt.growRegion(); float64(count) > mt.opts.MaxRegionFrac*float64(mt.g.N()) {
+		// Region overflow: one warm full-graph pass beats regional
+		// bookkeeping, and the current matching stays as the seed.
+		mt.repair(nil, 0, rep)
+	} else {
+		// The engine's active mask is both the repair's region mask
+		// and its execution schedule: only region nodes are stepped
+		// (FullSweep instead snapshots the mask and steps everyone —
+		// the PR-4 baseline the fuzz suite replays against).
+		region := mt.r.ActiveMask()
+		if mt.opts.FullSweep {
+			region = mt.snapshotRegion()
+		}
+		mt.repair(region, count, rep)
 	}
-	return rep
 }
 
 // Recompute discards the matching and solves the live subgraph from
@@ -227,11 +295,75 @@ func (mt *Maintainer) Recompute() ApplyReport {
 }
 
 // Audit runs the certificate audit now (regardless of cadence),
-// recomputing if it fails, and reports what happened.
+// recomputing if it fails, and reports what happened. Like the periodic
+// audits, it runs under the fault guard while a plan is armed, adapts
+// the cadence, and promotes Recovering to Healthy on a clean pass.
 func (mt *Maintainer) Audit() ApplyReport {
 	var rep ApplyReport
-	mt.audit(&rep)
+	mt.runAudit(&rep)
+	rep.Health = mt.health
 	return rep
+}
+
+// Health returns the Maintainer's serving state. Fault-free maintainers
+// are always Healthy.
+func (mt *Maintainer) Health() Health { return mt.health }
+
+// faultMaxRounds is the engine-run safety bound installed while a fault
+// plan is armed and Options.MaxRounds is 0: injected message loss can
+// starve a convergence oracle forever, and a hung repair must surface as
+// a recoverable fault (the MaxRounds abort panic), not a livelock. Far
+// above any honest run on the sizes the chaos harness drives.
+const faultMaxRounds = 4096
+
+// InjectFaults installs plan on the underlying engine (nil uninstalls)
+// and arms the recovery machinery: while armed, engine runs may abort
+// mid-flight or complete with a half-written matching, and the
+// Maintainer absorbs both — attempts are checked for consistency,
+// failures enter the escalation ladder (regional repair → warm full
+// repair → cold recompute, Options.MaxRetries attempts each), and
+// Matching() keeps serving the last good matching while Degraded. The
+// plan replays from its first event on every engine run while installed.
+func (mt *Maintainer) InjectFaults(plan *dist.FaultPlan) {
+	mt.r.SetFaultPlan(plan)
+	if plan == nil {
+		mt.armed = false
+		if mt.opts.MaxRounds == 0 {
+			mt.r.SetMaxRounds(0)
+		}
+		return
+	}
+	mt.armed = true
+	if mt.opts.MaxRounds == 0 {
+		mt.r.SetMaxRounds(faultMaxRounds)
+	}
+	if mt.lastGood == nil {
+		mt.lastGood = make([]int32, mt.g.N())
+		for v := range mt.lastGood {
+			mt.lastGood[v] = -1
+		}
+	}
+	if mt.health == Healthy {
+		copy(mt.lastGood, mt.matchedEdge)
+		mt.cachedGood = nil
+	}
+}
+
+// CrashNode treats node v as failed at the serving layer: every live
+// incident edge is deleted in one implicit batch — the observed fault
+// expressed as the deletion batch it is — routed through Apply so the
+// usual regional repair, audit cadence and recovery machinery handle it.
+func (mt *Maintainer) CrashNode(v int) ApplyReport {
+	if v < 0 || v >= mt.g.N() {
+		panic(fmt.Sprintf("dynamic: CrashNode(%d) outside slab [0,%d)", v, mt.g.N()))
+	}
+	var b Batch
+	for p := 0; p < mt.g.Deg(v); p++ {
+		if e := mt.g.EdgeAt(v, p); mt.live[e] {
+			b = append(b, Update{Edge: e, Op: Delete})
+		}
+	}
+	return mt.Apply(b)
 }
 
 // markDirty records both endpoints of a liveness-changed edge and keeps
@@ -331,9 +463,199 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 	mt.addCost(rep, st)
 }
 
-// audit runs the mask-aware Berge probe; on a failed certificate it
+// attempt runs one maintenance or audit step under the fault guard. A
+// panic is recovered only while a plan is armed (unarmed it is a real
+// bug and propagates); after a non-panicking step the matching is
+// re-checked for consistency, because a crash fault can complete a run
+// with the per-node write-back half done. On failure the matching is
+// scrubbed back to a consistent (smaller) one, the freed nodes rejoin
+// the dirty seeds, and the Maintainer is Degraded.
+func (mt *Maintainer) attempt(rep *ApplyReport, step func()) bool {
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if !mt.armed {
+					panic(r)
+				}
+				panicked = true
+			}
+		}()
+		step()
+	}()
+	if !panicked && mt.consistent() {
+		return true
+	}
+	rep.Faults++
+	mt.totals.Faults++
+	mt.health = Degraded
+	mt.cached = nil
+	mt.scrub()
+	return false
+}
+
+// consistent is the O(n) invariant check the fault guard relies on:
+// every matched edge is in range, live, incident to its node, and
+// claimed by both endpoints.
+func (mt *Maintainer) consistent() bool {
+	for v, e := range mt.matchedEdge {
+		if e < 0 {
+			continue
+		}
+		if int(e) >= len(mt.live) || !mt.live[e] {
+			return false
+		}
+		x, y := mt.g.Endpoints(int(e))
+		if (x != v && y != v) || mt.matchedEdge[x] != e || mt.matchedEdge[y] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// scrub restores matchedEdge to a consistent matching after a lost
+// attempt — an aborted run can leave the write-back half done — by
+// freeing every node whose claim fails the invariant. Freed nodes join
+// the dirty seeds so the next regional attempt re-covers them; damage
+// that outlives the Apply (dirty resets per batch) is bounded by the
+// forced audit that certifies any recovery.
+func (mt *Maintainer) scrub() {
+	for v, e := range mt.matchedEdge {
+		if e < 0 {
+			continue
+		}
+		ok := int(e) < len(mt.live) && mt.live[e]
+		if ok {
+			x, y := mt.g.Endpoints(int(e))
+			ok = (x == v || y == v) && mt.matchedEdge[x] == e && mt.matchedEdge[y] == e
+		}
+		if !ok {
+			mt.matchedEdge[v] = -1
+			mt.dirty = append(mt.dirty, int32(v))
+		}
+	}
+}
+
+// ladder is the self-healing escalation loop: the normal maintenance
+// step, then a warm full repair, then a cold recompute, each attempted
+// up to MaxRetries times under the fault guard. A success after any
+// fault leaves the Maintainer Recovering — serving its own matching
+// again, promoted to Healthy by the next clean audit (forced on the next
+// maybeAudit). Exhausting every level leaves it Degraded: Matching()
+// keeps serving the last good snapshot and the next Apply lands back
+// here.
+func (mt *Maintainer) ladder(rep *ApplyReport) {
+	levels := []func(){
+		func() { mt.maintainOnce(rep) },
+		func() { mt.repair(nil, 0, rep) },
+		func() {
+			for v := range mt.matchedEdge {
+				mt.matchedEdge[v] = -1
+			}
+			mt.cached = nil
+			mt.repair(nil, 0, rep)
+		},
+	}
+	first := true
+	for lvl, step := range levels {
+		for try := 0; try < mt.opts.MaxRetries; try++ {
+			if recovery := mt.health != Healthy || lvl > 0 || try > 0; recovery && rep.RecoveryLevel <= lvl {
+				rep.RecoveryLevel = lvl + 1
+			}
+			if !first {
+				mt.totals.Retries++
+			}
+			first = false
+			if mt.attempt(rep, step) {
+				if mt.health == Degraded {
+					// The step that repairs ends Recovering; certification
+					// is the next step's job (justRecovered suppresses this
+					// step's audit), so the state is observable for at least
+					// one full Apply.
+					mt.health = Recovering
+					mt.justRecovered = true
+				}
+				return
+			}
+		}
+		mt.totals.Escalations++
+	}
+	// Every level exhausted: stay Degraded, serve the snapshot, try again
+	// on the next Apply.
+}
+
+// maybeAudit runs the periodic audit when the adaptive countdown
+// expires, and unconditionally while Recovering — a recovered matching
+// stays uncertified until an audit passes. Two health states override
+// the cadence: the Apply that just repaired skips its audit entirely
+// (the repair already burned engine rounds, and ending the step
+// Recovering keeps the state observable), and Degraded skips audits
+// because there is no matching of our own to certify.
+func (mt *Maintainer) maybeAudit(rep *ApplyReport) {
+	due := false
+	if mt.curAudit > 0 {
+		mt.auditIn--
+		if mt.auditIn <= 0 {
+			due = true
+			mt.auditIn = mt.curAudit
+		}
+	}
+	if mt.justRecovered || mt.health == Degraded {
+		due = false
+	} else if mt.health == Recovering {
+		due = true
+	}
+	mt.justRecovered = false
+	if due {
+		mt.runAudit(rep)
+	}
+}
+
+// runAudit is one guarded audit: under the fault guard whenever a plan
+// is armed or recovery is in flight, with the adaptive cadence tightened
+// on any failure (certificate or fault) and relaxed on a clean pass, and
+// Recovering promoted to Healthy by a clean certified pass.
+func (mt *Maintainer) runAudit(rep *ApplyReport) {
+	pre := mt.totals.AuditFailures
+	if mt.armed || mt.health != Healthy {
+		if !mt.attempt(rep, func() { mt.auditOnce(rep) }) {
+			mt.tightenCadence()
+			return
+		}
+	} else {
+		mt.auditOnce(rep)
+	}
+	if mt.totals.AuditFailures > pre {
+		mt.tightenCadence()
+	} else {
+		mt.relaxCadence()
+	}
+	if rep.CertificateOK && mt.health == Recovering {
+		mt.health = Healthy
+	}
+}
+
+// tightenCadence halves the audit interval after a failure (floor 1);
+// relaxCadence eases it back by one per clean audit, up to the
+// configured AuditEvery. No-ops when periodic audits are disabled.
+func (mt *Maintainer) tightenCadence() {
+	if mt.curAudit > 0 {
+		mt.curAudit = max(1, mt.curAudit/2)
+		if mt.auditIn > mt.curAudit {
+			mt.auditIn = mt.curAudit
+		}
+	}
+}
+
+func (mt *Maintainer) relaxCadence() {
+	if mt.curAudit > 0 && mt.curAudit < mt.opts.AuditEvery {
+		mt.curAudit++
+	}
+}
+
+// auditOnce runs the mask-aware Berge probe; on a failed certificate it
 // recomputes from the current matching and re-audits.
-func (mt *Maintainer) audit(rep *ApplyReport) {
+func (mt *Maintainer) auditOnce(rep *ApplyReport) {
 	rep.Audited = true
 	probe := 2*mt.opts.K - 1
 	r, st := mt.probeCertificate(probe)
@@ -364,15 +686,14 @@ func (mt *Maintainer) audit(rep *ApplyReport) {
 // active-set execution the probe steps only the endpoints of live edges —
 // a set that contains every matched node and that no live edge (hence no
 // probe message) can cross — so audit rounds cost O(live subgraph), not
-// O(slab). Node 0 rides along when no edge is live, purely so the
-// protocol's fixed round structure still executes and the report is
-// written; messages, rounds and outcomes are bit-identical to a
-// full-sweep audit (TestFuzzDynamicAuditEquivalence).
+// O(slab). With no live edge at all the set is empty and
+// check.MatchingOnRunner short-circuits without a run (identically for
+// the full-sweep form, keyed on the runner's live-edge count), so
+// messages, rounds and outcomes stay bit-identical to a full-sweep audit
+// (TestFuzzDynamicAuditEquivalence).
 func (mt *Maintainer) probeCertificate(probe int) (check.Report, *dist.Stats) {
 	if mt.opts.FullSweep {
 		mt.r.ClearActive()
-	} else if len(mt.liveList) == 0 {
-		mt.r.SetActive([]int32{0})
 	} else {
 		mt.r.SetActive(mt.liveList)
 	}
