@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare clean
+.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare profile clean
 
 all: tier1
 
@@ -32,12 +32,25 @@ bench-baseline:
 	./scripts/bench_baseline.sh
 
 # bench-compare records coroutine-vs-flat backend node-rounds/s per
-# protocol — including the core Algorithm 3-5 pipeline — plus the
-# Config.Workers scaling sweep, the batch-runner amortization pair and
+# protocol — including the core Algorithm 3-5 pipeline and the PR-7
+# strict-CONGEST/LOCAL ports — plus the Config.Workers scaling sweep,
+# the workers×topology grid, the batch-runner amortization pair and
 # the dynamic-maintainer incremental-vs-recompute switch pair into
-# BENCH_pr4.json (set BENCHTIME=3s for stabler numbers).
+# BENCH_pr7.json (set BENCHTIME=3s and COUNT=5 for stabler numbers).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# profile captures pprof CPU + allocation profiles and a runtime trace of
+# a multicore flat-backend run (override PROFILE_ARGS to aim elsewhere);
+# inspect with `go tool pprof profiles/cpu.pprof` / `go tool trace
+# profiles/run.trace`.
+PROFILE_ARGS ?= -algo bipartite -n 4096 -deg 8 -k 3 -workers 0 -repeat 5 -opt=false
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/distmatch $(PROFILE_ARGS) \
+		-cpuprofile profiles/cpu.pprof \
+		-memprofile profiles/mem.pprof \
+		-trace profiles/run.trace
 
 clean:
 	$(GO) clean ./...

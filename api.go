@@ -52,15 +52,13 @@ type (
 	ExecutionBackend = dist.Backend
 )
 
-// The available execution backends. Auto (the default) runs the flat
-// zero-stack-switch backend wherever an algorithm has a RoundProgram port
-// (MaximalMatching, MIS, MWMQuarter, MCMBipartite, MCMGeneral, MWMHalf)
-// and coroutines everywhere else; the two are bit-identical for equal
-// seeds, so the choice only affects throughput (flat measures 3-13x the
-// node-rounds/s on the ported protocols; see DESIGN.md §1, BENCH_pr2.json
-// and BENCH_pr3.json). Strict-CONGEST execution (StrictCongest /
-// MCMGeneral with StrictCapacityBits) has no flat port yet and always
-// runs on coroutines.
+// The available execution backends. Every algorithm entry point now has a
+// RoundProgram port — including strict-CONGEST execution (StrictCongest /
+// MCMGeneral with StrictCapacityBits) and the LOCAL-model MCMGeneric — so
+// Auto (the default) always runs the flat zero-stack-switch backend. The
+// two backends are bit-identical for equal seeds, so the choice only
+// affects throughput (flat measures 3-13x the node-rounds/s; see
+// DESIGN.md §1, BENCH_pr2.json, BENCH_pr3.json and BENCH_pr7.json).
 const (
 	BackendAuto      = dist.BackendAuto
 	BackendCoroutine = dist.BackendCoroutine
@@ -142,7 +140,7 @@ func MaximalMatching(g *Graph, seed uint64, opts ...Option) Result {
 // exponential in 1/ε — use it on small or sparse instances only.
 func MCMGeneric(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
-	m, st := core.GenericMCM(g, eps, seed, !c.budgeted)
+	m, st := core.GenericMCMWithConfig(g, eps, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)
 	return Result{m, st}
 }
 
@@ -152,7 +150,7 @@ func MCMGeneric(g *Graph, eps float64, seed uint64, opts ...Option) Result {
 func MCMBipartite(g *Graph, k int, seed uint64, opts ...Option) Result {
 	c := buildConfig(opts)
 	if c.strict > 0 {
-		m, st := core.BipartiteMCMStrict(g, k, seed, c.strict, !c.budgeted)
+		m, st := core.BipartiteMCMStrictWithConfig(g, k, dist.Config{Seed: seed, Backend: c.backend}, c.strict, !c.budgeted)
 		return Result{m, st}
 	}
 	m, st := core.BipartiteMCMWithConfig(g, k, dist.Config{Seed: seed, Backend: c.backend}, !c.budgeted)

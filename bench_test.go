@@ -371,6 +371,57 @@ func BenchmarkAlgLocalGreedyCoro(b *testing.B) {
 	})
 }
 
+// ---- PR-7 ports: the strict-CONGEST and LOCAL pairs. These were the
+// last coroutine-only algorithms; their flat ports make the speedup
+// table total. ----
+
+func strictPairWorkload() *Graph { return bipartiteWorkload(7, 128) }
+
+// BenchmarkAlgBipartiteStrict measures the Lemma 3.7 chunk-pipelined
+// execution (k=2, B=8 bits, n=256, oracle) on the flat backend. The
+// workload is sub-round dense: every value crosses its hop in ⌈bits/B⌉
+// chunk rounds, so the backend's per-node-round overhead dominates even
+// at modest n.
+func BenchmarkAlgBipartiteStrict(b *testing.B) {
+	g := strictPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.BipartiteMCMStrictWithConfig(g, 2, dist.Config{Seed: seed, Backend: dist.BackendFlat}, 8, true)
+		return st
+	})
+}
+
+// BenchmarkAlgBipartiteStrictCoro is the same workload on coroutines.
+func BenchmarkAlgBipartiteStrictCoro(b *testing.B) {
+	g := strictPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.BipartiteMCMStrictWithConfig(g, 2, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, 8, true)
+		return st
+	})
+}
+
+func genericPairWorkload() *Graph { return gen.Gnp(rng.New(11), 192, 4.0/192) }
+
+// BenchmarkAlgGenericMCM measures the LOCAL-model Algorithm 1 (ε=1/2,
+// n=192, oracle) on the flat backend: wide topology floods with
+// unbounded messages, the opposite messaging regime from the strict
+// pair.
+func BenchmarkAlgGenericMCM(b *testing.B) {
+	g := genericPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.GenericMCMWithConfig(g, 0.5, dist.Config{Seed: seed, Backend: dist.BackendFlat}, true)
+		return st
+	})
+}
+
+// BenchmarkAlgGenericMCMCoro is the same workload on coroutines.
+func BenchmarkAlgGenericMCMCoro(b *testing.B) {
+	g := genericPairWorkload()
+	benchProtocol(b, g.N(), func(seed uint64) *dist.Stats {
+		_, st := core.GenericMCMWithConfig(g, 0.5, dist.Config{Seed: seed, Backend: dist.BackendCoroutine}, true)
+		return st
+	})
+}
+
 // ---- Batch-runner amortization: short runs where setup dominates ----
 
 func shortRunWorkload() *Graph { return gen.Gnm(rng.New(21), 256, 1024) }
@@ -485,6 +536,25 @@ func BenchmarkEngineRoundFlat(b *testing.B) {
 	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
 }
 
+// BenchmarkEngineRoundFlatRunner is BenchmarkEngineRoundFlat through one
+// warm dist.Runner: the same 64-round beacon with engine slabs, dest
+// tables and the worker pool reused across iterations. The gap to
+// BenchmarkEngineRoundFlat is the per-run setup + GC share of the fresh
+// protocol.
+func BenchmarkEngineRoundFlatRunner(b *testing.B) {
+	g := gen.DRegular(rng.New(8), 4096, 4)
+	rounds := 64
+	r := dist.NewRunner(g, dist.Config{})
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunFlat(uint64(i), func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: rounds}
+		})
+	}
+	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
 // BenchmarkEngineRoundActive is the engine beacon restricted to a
 // 64-node active set on the same 4096-node graph: the smoke check (CI's
 // EngineRound pattern) that sub-round execution neither panics nor
@@ -547,6 +617,40 @@ func BenchmarkEngineRoundFlatWorkers(b *testing.B) {
 			}
 			b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
 		})
+	}
+}
+
+// BenchmarkEngineRoundFlatTopo is the workers × topology scaling grid on
+// the flat backend: the 64-round beacon on message patterns that stress
+// the mailbox modes differently — uniform short rows (4-regular), dense
+// rows (G(n,m) at mean degree 16), irregular rows (G(n,p)), and the hub pathology
+// (star: one node owns half of every round's traffic, the worst case for
+// chunk balance since the hub's whole arc range belongs to one worker).
+// Together with the Workers sweeps above it locates the contention knee
+// recorded in BENCH_pr7.json and DESIGN.md §1.
+func BenchmarkEngineRoundFlatTopo(b *testing.B) {
+	tops := []struct {
+		name string
+		g    *Graph
+	}{
+		{"dreg4", gen.DRegular(rng.New(8), 4096, 4)},
+		{"gnm16", gen.Gnm(rng.New(8), 4096, 32768)},
+		{"gnp8", gen.Gnp(rng.New(9), 4096, 8.0/4096)},
+		{"star", gen.Star(4096)},
+	}
+	rounds := 64
+	for _, tc := range tops {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", tc.name, w), func(b *testing.B) {
+				g := tc.g
+				for i := 0; i < b.N; i++ {
+					dist.RunFlat(g, dist.Config{Seed: uint64(i), Workers: w}, func(*dist.Node) dist.RoundProgram {
+						return &flatBeacon{left: rounds}
+					})
+				}
+				b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+			})
+		}
 	}
 }
 

@@ -39,14 +39,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed (identical seeds replay runs)")
 	budget := flag.Bool("budget", false, "use the paper's fixed w.h.p. budgets instead of the convergence oracle")
 	showOpt := flag.Bool("opt", true, "also compute the exact optimum (centralized) for the ratio")
-	profile := flag.Bool("profile", false, "print a per-round traffic profile (all algorithms except generic)")
-	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (every algorithm except generic has a flat state-machine port; backends are bit-identical)")
+	profile := flag.Bool("profile", false, "print a per-round traffic profile")
+	backend := flag.String("backend", "auto", "execution backend: auto | coro | flat (every algorithm has a flat state-machine port; backends are bit-identical)")
+	workers := flag.Int("workers", 0, "engine worker goroutines (0 = one per core); >1 runs the staged multicore mailbox mode")
+	repeat := flag.Int("repeat", 1, "run the algorithm this many times (amortizes startup when profiling)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+	tracefile := flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	dyn := flag.Bool("dynamic", false, "serve a stream of edge updates with the incremental Maintainer (bipartite slab; -slots/-churn shape the stream) and compare against per-batch full recompute")
 	slots := flag.Int("slots", 500, "dynamic mode: number of update batches")
 	churn := flag.Int("churn", 4, "dynamic mode: edge insert/delete flips per batch")
 	chaosMode := flag.Bool("chaos", false, "run seeded chaos schedules against the incremental Maintainer: random fault plans (crashes, drops, panics) and node crashes under churn, verifying every slot serves a valid matching and the Maintainer heals to a certified (1-1/k) matching; -schedules/-n/-k/-seed/-backend apply")
 	schedules := flag.Int("schedules", 50, "chaos mode: number of seeded schedules")
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile, *tracefile)
 
 	if *chaosMode {
 		nSet := false
@@ -55,10 +62,12 @@ func main() {
 			*n = 8 // chaos drives many schedules; default to a small slab
 		}
 		runChaos(*schedules, *n, *k, *seed, parseBackend(*backend))
+		stopProfiles()
 		return
 	}
 	if *dyn {
 		runDynamic(*n, *deg, *k, *seed, *slots, *churn, parseBackend(*backend))
+		stopProfiles()
 		return
 	}
 
@@ -66,25 +75,27 @@ func main() {
 	fmt.Printf("graph: %v\n", g)
 
 	oracle := !*budget
-	cfg := dist.Config{Seed: *seed, Profile: *profile, Backend: parseBackend(*backend)}
+	cfg := dist.Config{Seed: *seed, Profile: *profile, Workers: *workers, Backend: parseBackend(*backend)}
 	var m *graph.Matching
 	var stats *dist.Stats
-	switch *algo {
-	case "bipartite":
-		m, stats = core.BipartiteMCMWithConfig(g, *k, cfg, oracle)
-	case "general":
-		m, stats = core.GeneralMCMWithConfig(g, *k, cfg, core.GeneralOptions{Oracle: oracle, IdleStop: 40})
-	case "generic":
-		m, stats = core.GenericMCM(g, *eps, *seed, oracle)
-	case "weighted":
-		m, stats = core.WeightedMWMWithConfig(g, cfg, *eps, oracle, nil)
-	case "quarter":
-		m, stats = lpr.RunWithConfig(g, cfg, *eps, oracle)
-	case "israeliitai":
-		m, stats = israeliitai.RunWithConfig(g, cfg, oracle)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
-		os.Exit(2)
+	for i := 0; i < *repeat; i++ { // -repeat re-runs identically (profiling)
+		switch *algo {
+		case "bipartite":
+			m, stats = core.BipartiteMCMWithConfig(g, *k, cfg, oracle)
+		case "general":
+			m, stats = core.GeneralMCMWithConfig(g, *k, cfg, core.GeneralOptions{Oracle: oracle, IdleStop: 40})
+		case "generic":
+			m, stats = core.GenericMCMWithConfig(g, *eps, cfg, oracle)
+		case "weighted":
+			m, stats = core.WeightedMWMWithConfig(g, cfg, *eps, oracle, nil)
+		case "quarter":
+			m, stats = lpr.RunWithConfig(g, cfg, *eps, oracle)
+		case "israeliitai":
+			m, stats = israeliitai.RunWithConfig(g, cfg, oracle)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+			os.Exit(2)
+		}
 	}
 	if err := m.Verify(g); err != nil {
 		fmt.Fprintf(os.Stderr, "INVALID MATCHING: %v\n", err)
@@ -119,6 +130,7 @@ func main() {
 			}
 		}
 	}
+	stopProfiles()
 }
 
 // runChaos is the -chaos mode: a sweep of seeded fault schedules, each a

@@ -1,0 +1,67 @@
+// Profiling plumbing for the distmatch CLI: -cpuprofile/-memprofile/-trace
+// write standard pprof / runtime-trace artifacts for the run, so engine
+// hot paths (mailbox delivery, worker sweeps, oracle reductions) can be
+// inspected with `go tool pprof` / `go tool trace`. `make profile` drives
+// a canned multicore run through these flags.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// startProfiles arms the requested collectors and returns the function
+// that flushes them; call it (once) before exiting on the normal path.
+// Empty paths are ignored, so the zero-flag invocation costs nothing.
+func startProfiles(cpuPath, memPath, tracePath string) (stop func()) {
+	var cpuF, traceF *os.File
+	if cpuPath != "" {
+		cpuF = mustCreate(cpuPath)
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			fatalf("start CPU profile: %v", err)
+		}
+	}
+	if tracePath != "" {
+		traceF = mustCreate(tracePath)
+		if err := trace.Start(traceF); err != nil {
+			fatalf("start execution trace: %v", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			fmt.Printf("profile:  CPU profile written to %s\n", cpuPath)
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+			fmt.Printf("profile:  execution trace written to %s\n", tracePath)
+		}
+		if memPath != "" {
+			f := mustCreate(memPath)
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatalf("write allocation profile: %v", err)
+			}
+			fmt.Printf("profile:  allocation profile written to %s\n", memPath)
+		}
+	}
+}
+
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	return f
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -63,8 +63,8 @@ func BipartiteMCMSeeds(g *graph.Graph, k int, cfg dist.Config, seeds []uint64, o
 // GeneralMCMSeeds runs GeneralMCM(g, k, seed, opts) once per seed on one
 // shared engine; bit-identical to fresh GeneralMCMWithConfig runs
 // (TestGeneralMCMSeedsMatchesFresh). cfg.Seed is ignored. Strict CONGEST
-// mode (opts.StrictCapacityBits > 0) runs on the coroutine backend like
-// the fresh entry point, still through the shared engine.
+// mode (opts.StrictCapacityBits > 0) runs on either backend, like the
+// fresh entry point, still through the shared engine.
 func GeneralMCMSeeds(g *graph.Graph, k int, cfg dist.Config, seeds []uint64, opts GeneralOptions) ([]*graph.Matching, []*dist.Stats) {
 	if k < 3 {
 		panic("core: GeneralMCM requires k > 2 (Algorithm 4)")
@@ -80,10 +80,11 @@ func GeneralMCMSeeds(g *graph.Graph, k int, cfg dist.Config, seeds []uint64, opt
 	r := dist.NewRunner(g, cfg)
 	defer r.Close()
 
-	if cfg.Backend.UseFlat() && opts.StrictCapacityBits <= 0 {
+	if cfg.Backend.UseFlat() {
 		factory := func(nd *dist.Node) dist.RoundProgram {
 			return &generalMachine{
 				k: k, oracle: opts.Oracle, iters: iters, idleStop: opts.IdleStop,
+				capacity:    opts.StrictCapacityBits,
 				matchedEdge: matchedEdge,
 			}
 		}

@@ -373,6 +373,14 @@ func runPhasesStrict(nd *dist.Node, st *MatchState, side int, participate bool,
 // pipelined chunk by chunk, exactly as the proof of Lemma 3.7 prescribes.
 // Typical usage sets capacityBits = ⌈log₂ n⌉.
 func BipartiteMCMStrict(g *graph.Graph, k int, seed uint64, capacityBits int, oracle bool) (*graph.Matching, *dist.Stats) {
+	return BipartiteMCMStrictWithConfig(g, k, dist.Config{Seed: seed}, capacityBits, oracle)
+}
+
+// BipartiteMCMStrictWithConfig is BipartiteMCMStrict with full engine
+// configuration (profiling, limits, backend selection — cfg.Backend picks
+// between the bit-identical coroutine and flat executions; auto means
+// flat, with the chunk pipelining of flat_strict.go).
+func BipartiteMCMStrictWithConfig(g *graph.Graph, k int, cfg dist.Config, capacityBits int, oracle bool) (*graph.Matching, *dist.Stats) {
 	if k < 1 {
 		panic("core: BipartiteMCMStrict requires k >= 1")
 	}
@@ -382,8 +390,11 @@ func BipartiteMCMStrict(g *graph.Graph, k int, seed uint64, capacityBits int, or
 	if g.N() >= 1<<24 {
 		panic("core: strict mode packs leader ids into 24 bits; n too large")
 	}
+	if cfg.Backend.UseFlat() {
+		return runFlatBipartiteStrict(g, k, cfg, capacityBits, oracle)
+	}
 	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		st := &MatchState{MatchedPort: -1}
 		all := func(int) bool { return true }
 		runPhasesStrict(nd, st, nd.Side(), true, all, k, oracle, capacityBits)

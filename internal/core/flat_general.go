@@ -11,12 +11,16 @@ import (
 	"distmatch/internal/graph"
 )
 
-// generalMachine is one node's Algorithm 4 state machine.
+// generalMachine is one node's Algorithm 4 state machine. A positive
+// capacity runs the inner bipartite phases in strict CONGEST mode (the
+// Lemma 3.7 chunk pipelining of flat_strict.go) instead of the plain
+// phasesMachine.
 type generalMachine struct {
 	k           int
 	oracle      bool
 	iters       int
 	idleStop    int
+	capacity    int
 	matchedEdge []int32
 
 	env    phaseEnv
@@ -29,6 +33,7 @@ type generalMachine struct {
 
 	stage uint8
 	ph    phasesMachine
+	phs   strictPhasesMachine
 	probe dist.ProbeOr
 }
 
@@ -84,15 +89,14 @@ func (m *generalMachine) OnRound(nd *dist.Node, in []dist.Incoming) (again bool)
 		}
 		m.env.participate = m.inVhat
 		// Line 5-6: maximal augmentation of length ≤ 2k−1 inside Ĝ.
-		m.ph.reset(&m.env, m.k, m.oracle)
 		m.stage = gsPhases
-		if m.ph.Start(nd) {
+		if m.phasesStart(nd) {
 			return m.phasesDone(nd)
 		}
 		return true
 
 	case gsPhases:
-		if m.ph.OnRound(nd, in) {
+		if m.phasesRound(nd, in) {
 			return m.phasesDone(nd)
 		}
 		return true
@@ -113,11 +117,39 @@ func (m *generalMachine) OnRound(nd *dist.Node, in []dist.Incoming) (again bool)
 	panic("core: generalMachine in invalid stage")
 }
 
+// phasesStart arms the iteration's phase pipeline — strict when a
+// capacity is set, plain otherwise — and starts it within this segment.
+func (m *generalMachine) phasesStart(nd *dist.Node) (done bool) {
+	if m.capacity > 0 {
+		m.phs.reset(&m.env, m.k, m.oracle, m.capacity)
+		return m.phs.Start(nd)
+	}
+	m.ph.reset(&m.env, m.k, m.oracle)
+	return m.ph.Start(nd)
+}
+
+// phasesRound routes one finished round to the running phase pipeline.
+func (m *generalMachine) phasesRound(nd *dist.Node, in []dist.Incoming) (done bool) {
+	if m.capacity > 0 {
+		return m.phs.OnRound(nd, in)
+	}
+	return m.ph.OnRound(nd, in)
+}
+
+// phasesChanged reports whether the pipeline that just finished changed
+// the local matching.
+func (m *generalMachine) phasesChanged() bool {
+	if m.capacity > 0 {
+		return m.phs.changed
+	}
+	return m.ph.changed
+}
+
 // phasesDone runs the segment after the phase pipeline returns: the
 // optional idle-stop convergence probe.
 func (m *generalMachine) phasesDone(nd *dist.Node) (again bool) {
 	if m.idleStop > 0 {
-		m.probe.Reset(m.ph.changed)
+		m.probe.Reset(m.phasesChanged())
 		m.probe.Start(nd)
 		m.stage = gsIdle
 		return true
@@ -145,13 +177,14 @@ func (m *generalMachine) finish(nd *dist.Node) {
 }
 
 // runFlatGeneral is the flat-backend implementation behind
-// GeneralMCM/GeneralMCMWithConfig (plain CONGEST mode only; strict
-// pipelining stays on the coroutine backend).
+// GeneralMCM/GeneralMCMWithConfig; opts.StrictCapacityBits > 0 selects
+// strict CONGEST pipelining for the inner phases.
 func runFlatGeneral(g *graph.Graph, k int, cfg dist.Config, opts GeneralOptions, iters int) (*graph.Matching, *dist.Stats) {
 	matchedEdge := make([]int32, g.N())
 	stats := dist.RunFlat(g, cfg, func(nd *dist.Node) dist.RoundProgram {
 		return &generalMachine{
 			k: k, oracle: opts.Oracle, iters: iters, idleStop: opts.IdleStop,
+			capacity:    opts.StrictCapacityBits,
 			matchedEdge: matchedEdge,
 		}
 	})

@@ -62,8 +62,8 @@ func GeneralMCM(g *graph.Graph, k int, seed uint64, opts GeneralOptions) (*graph
 // GeneralMCMWithConfig is GeneralMCM with full engine configuration
 // (profiling, limits, backend selection — cfg.Backend picks between the
 // bit-identical coroutine and flat executions; auto means flat). Strict
-// CONGEST mode (opts.StrictCapacityBits > 0) always runs on the
-// coroutine backend: the chunk pipelining has no flat port yet.
+// CONGEST mode (opts.StrictCapacityBits > 0) runs on either backend:
+// the flat port of the chunk pipelining lives in flat_strict.go.
 func GeneralMCMWithConfig(g *graph.Graph, k int, cfg dist.Config, opts GeneralOptions) (*graph.Matching, *dist.Stats) {
 	if k < 3 {
 		panic("core: GeneralMCM requires k > 2 (Algorithm 4)")
@@ -72,7 +72,7 @@ func GeneralMCMWithConfig(g *graph.Graph, k int, cfg dist.Config, opts GeneralOp
 	if iters <= 0 {
 		iters = TheoryIters(k)
 	}
-	if cfg.Backend.UseFlat() && opts.StrictCapacityBits <= 0 {
+	if cfg.Backend.UseFlat() {
 		return runFlatGeneral(g, k, cfg, opts, iters)
 	}
 	matchedEdge := make([]int32, g.N())

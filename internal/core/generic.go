@@ -99,12 +99,26 @@ func GenericBudget(n, ell int) int {
 // this algorithm generic for a reason; use BipartiteMCM / GeneralMCM for
 // anything large.
 func GenericMCM(g *graph.Graph, eps float64, seed uint64, oracle bool) (*graph.Matching, *dist.Stats) {
+	return GenericMCMWithConfig(g, eps, dist.Config{Seed: seed}, oracle)
+}
+
+// GenericMCMWithConfig is GenericMCM with full engine configuration
+// (profiling, limits, backend selection — cfg.Backend picks between the
+// bit-identical coroutine and flat executions; auto means flat, via the
+// genericMachine of flat_generic.go).
+func GenericMCMWithConfig(g *graph.Graph, eps float64, cfg dist.Config, oracle bool) (*graph.Matching, *dist.Stats) {
 	if eps <= 0 || eps >= 1 {
 		panic("core: GenericMCM requires 0 < eps < 1")
 	}
 	k := int(math.Ceil(1 / eps))
 	matchedEdge := make([]int32, g.N())
-	stats := dist.Run(g, dist.Config{Seed: seed}, func(nd *dist.Node) {
+	if cfg.Backend.UseFlat() {
+		stats := dist.RunFlat(g, cfg, func(nd *dist.Node) dist.RoundProgram {
+			return &genericMachine{k: k, oracle: oracle, matchedEdge: matchedEdge}
+		})
+		return graph.CollectMatching(g, matchedEdge), stats
+	}
+	stats := dist.Run(g, cfg, func(nd *dist.Node) {
 		runGenericNode(nd, k, oracle, matchedEdge)
 	})
 	return graph.CollectMatching(g, matchedEdge), stats

@@ -169,9 +169,10 @@ func (e *engine) forEachActive(f func(nd *Node)) {
 }
 
 // clearPrevMail clears exactly the per-node state the previous run could
-// have dirtied: the stepped nodes' mailbox in-slots (undelivered final
-// or aborted traffic), the slots those nodes deliver into (messages sent
-// to nodes that never collected them), and their program-slab entries
+// have dirtied: the stepped nodes' own arc ranges in both buffers
+// (undelivered final or aborted traffic), on a scatter engine also the
+// dest slots their sends scattered into (a staged run writes no mailbox
+// slots outside its steppers' own rows), and their program-slab entries
 // (so a node dropped from the active set doesn't pin its old run's
 // machine — and whatever that machine references — for the Runner's
 // lifetime). A full-sweep predecessor dirties everything, so the slabs
@@ -190,8 +191,11 @@ func (e *engine) clearPrevMail() {
 		lo, hi := nd.base, nd.base+nd.deg
 		clear(e.cur[lo:hi])
 		clear(e.nxt[lo:hi])
-		for _, d := range e.dest[lo:hi] {
-			e.cur[d], e.nxt[d] = nil, nil
+		if !e.staged {
+			for _, d := range e.dest[lo:hi] {
+				e.cur[d] = nil
+				e.nxt[d] = nil
+			}
 		}
 		if e.progSlab != nil {
 			e.progSlab[v] = nil

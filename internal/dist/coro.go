@@ -61,12 +61,14 @@ func newPooledCoro() *pooledCoro {
 	return pc
 }
 
-// bind attaches the coroutine to nd for one run. The node's first resume
-// starts the program.
+// bind attaches the coroutine to nd for one run, publishing its handles
+// into the engine's coroutine slabs. The node's first resume starts the
+// program.
 func (pc *pooledCoro) bind(nd *Node, program func(*Node)) {
 	pc.nd, pc.prog = nd, program
-	nd.next = pc.next
-	nd.yield = pc.yield
+	e := nd.eng
+	e.coNext[nd.id] = pc.next
+	e.coYield[nd.id] = pc.yield
 }
 
 // coroPool recycles idle coroutines across runs. Capacity bounds the
@@ -125,8 +127,13 @@ func releaseCoros(pcs []*pooledCoro) {
 // launch adopts one pooled coroutine per active node (per node, absent
 // an active set) — inactive nodes get no coroutine at all, which keeps
 // regional runs O(active). Program bodies do not start until the node's
-// first resume.
+// first resume. The handle slabs are allocated on the first coroutine
+// launch; flat runs never pay for them.
 func (e *engine) launch(program func(*Node)) {
+	if e.coNext == nil {
+		e.coNext = make([]func() (struct{}, bool), e.n)
+		e.coYield = make([]func(struct{}) bool, e.n)
+	}
 	e.coros = grabCoros(e.activeCount())
 	i := 0
 	e.forEachActive(func(nd *Node) {

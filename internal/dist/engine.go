@@ -93,29 +93,27 @@ type abortPanic struct{}
 // goroutine — the node's program — may use a Node, and only between Run's
 // invocation of the program and the program's return.
 //
-// The struct is laid out to keep one resume's working state on a single
-// cache line: the barrier sweep touches every live Node once per round.
-// Cold per-node state (RNG, stop/panic bookkeeping, mailbox views) lives
-// in engine-side slabs.
+// The struct holds only the node's immutable geometry — 32 bytes, two per
+// cache line — so the barrier sweep streams it read-only. All mutable
+// per-node state lives in engine-side struct-of-arrays slabs indexed by
+// id: the started/done flags in engine.state (one byte per node, scanned
+// sequentially by the sweeps), RNG streams in engine.rnds, coroutine
+// handles in engine.coNext/coYield, flat machines in engine.progs.
 type Node struct {
 	id   int32
 	deg  int32
 	base int32 // first directed-arc index in the engine's flat port tables
-
-	done    bool // program returned (or was unwound); never step again
-	started bool // flat: Init already ran; coroutine: program body entered
+	_    int32 // pad to 32 bytes: an aligned Node never straddles lines
 
 	eng *engine
 	wk  *worker // owning chunk worker; parked while the program runs
-
-	// Coroutine handles (see coro.go): next resumes the program, yield
-	// parks it. One word each; stop is cold and lives in the engine.
-	// Both are nil on the flat backend, where the worker calls the node's
-	// RoundProgram directly.
-	next func() (struct{}, bool)
-	// yield parks the node program at a round barrier (see park).
-	yield func(struct{}) bool
 }
+
+// Per-node lifecycle bits in engine.state.
+const (
+	stStarted uint8 = 1 << iota // flat: Init ran; coroutine: body entered
+	stDone                      // program returned (or unwound); never step again
+)
 
 // ID returns this node's identifier in [0, N).
 func (nd *Node) ID() int { return int(nd.id) }
@@ -171,6 +169,11 @@ func (nd *Node) Rand() *rng.Rand { return &nd.eng.rnds[nd.id] }
 // second Send on the same port in the same round overwrites the first.
 // A send on a dead edge (see Runner.SetEdgeLive) is silently dropped and
 // charges no traffic: under an activation mask the link does not exist.
+//
+// Slot choice follows the engine's delivery mode (see the mailbox
+// comment on engine): a staged engine writes the sender's own out-slot
+// nxt[base+p], a scatter engine writes the receiver-side slot
+// nxt[dest[base+p]].
 func (nd *Node) Send(p int, msg Message) {
 	if uint32(p) >= uint32(nd.deg) {
 		panic(fmt.Sprintf("dist: node %d Send on port %d, degree %d", nd.id, p, nd.deg))
@@ -179,17 +182,22 @@ func (nd *Node) Send(p int, msg Message) {
 		panic("dist: Send of nil message")
 	}
 	e := nd.eng
-	if lv := e.liveEdge; lv != nil && !lv[e.eid[nd.base+int32(p)]] {
+	a := nd.base + int32(p)
+	if lv := e.liveEdge; lv != nil && !lv[e.eid[a]] {
 		return
 	}
-	if cr := e.crashed; cr != nil && cr[e.nbr[nd.base+int32(p)]] {
+	if cr := e.crashed; cr != nil && cr[e.nbr[a]] {
 		// Crashed receiver: unlike a dead edge, the link exists and the
 		// sender cannot know — the send is charged, then lost.
 		nd.account(msg.Bits(), 1)
 		nd.wk.suppressed++
 		return
 	}
-	e.nxt[e.dest[nd.base+int32(p)]] = msg
+	if e.staged {
+		e.nxt[a] = msg
+	} else {
+		e.nxt[e.dest[a]] = msg
+	}
 	nd.account(msg.Bits(), 1)
 }
 
@@ -204,14 +212,13 @@ func (nd *Node) SendAll(msg Message) {
 		panic("dist: SendAll of nil message")
 	}
 	e := nd.eng
-	nxt := e.nxt
-	dest := e.dest[nd.base : int(nd.base)+deg]
+	lo := int(nd.base)
 	if e.liveEdge != nil || e.crashed != nil {
 		lv, cr := e.liveEdge, e.crashed
-		eid := e.eid[nd.base : int(nd.base)+deg]
-		nbr := e.nbr[nd.base : int(nd.base)+deg]
+		eid := e.eid[lo : lo+deg]
+		nbr := e.nbr[lo : lo+deg]
 		sent, lost := 0, 0
-		for i, d := range dest {
+		for i := 0; i < deg; i++ {
 			if lv != nil && !lv[eid[i]] {
 				continue // dead edge: the link does not exist, no charge
 			}
@@ -220,7 +227,11 @@ func (nd *Node) SendAll(msg Message) {
 				lost++
 				continue
 			}
-			nxt[d] = msg
+			if e.staged {
+				e.nxt[lo+i] = msg
+			} else {
+				e.nxt[e.dest[lo+i]] = msg
+			}
 			sent++
 		}
 		if sent > 0 {
@@ -229,8 +240,16 @@ func (nd *Node) SendAll(msg Message) {
 		nd.wk.suppressed += int64(lost)
 		return
 	}
-	for _, d := range dest {
-		nxt[d] = msg
+	if e.staged {
+		out := e.nxt[lo : lo+deg]
+		for i := range out {
+			out[i] = msg
+		}
+	} else {
+		nxt := e.nxt
+		for _, d := range e.dest[lo : lo+deg] {
+			nxt[d] = msg
+		}
 	}
 	nd.account(msg.Bits(), deg)
 }
@@ -287,10 +306,11 @@ func (nd *Node) StepMax(local float64) ([]Incoming, float64) {
 // park suspends the node program until the engine finishes the round. The
 // suspension is a coroutine switch back into the owning worker.
 func (nd *Node) park() {
-	if nd.yield == nil {
+	e := nd.eng
+	if e.coYield == nil || e.coYield[nd.id] == nil {
 		panic("dist: blocking Step primitives require the coroutine backend; a RoundProgram must return from OnRound instead")
 	}
-	nd.yield(struct{}{})
+	e.coYield[nd.id](struct{}{})
 	if nd.eng.aborting {
 		// The engine cancelled the run; unwind the program (recovered
 		// and swallowed by runProgram).
@@ -315,22 +335,45 @@ func (nd *Node) runProgram(program func(*Node)) {
 				nd.wk.notePanic(int(nd.id), r)
 			}
 		}
-		nd.done = true
-		nd.wk.done++
+		e := nd.eng
+		e.state[nd.id] |= stDone
+		w := nd.wk
+		w.done++
+		if e.staged {
+			// The node's final segment may have sent; its out-slots go
+			// stale once delivered, and nobody will overwrite or clear
+			// them again. Hand them to the worker's wash schedule.
+			w.washNew = append(w.washNew, nd.id)
+		}
 	}()
-	nd.started = true
+	nd.eng.state[nd.id] |= stStarted
 	program(nd)
 }
 
-// collect drains this node's mailbox slots of the front buffer. The node
-// owns its slots, so clearing them here leaves the buffer empty for its
-// next turn as the back buffer.
+// collect gathers this node's inbox for the round, per the engine's
+// delivery mode. Scatter mode reads the node's own contiguous range
+// cur[base, base+deg), clearing each slot behind the pack —
+// receiver-side hygiene, and at typical degrees the inline slot stores
+// beat a bulk clear() call. Staged mode reads each port's message from
+// the *neighbor's* out-slot for the reverse arc, cur[dest[base+p]], and
+// clears nothing: the sender's own pre-segment clear and the worker wash
+// schedule keep staged buffers clean.
 func (nd *Node) collect() []Incoming {
 	e := nd.eng
 	lo, hi := int(nd.base), int(nd.base)+int(nd.deg)
 	in := e.inSlab[lo:hi]
-	cur := e.cur[lo:hi]
 	k := 0
+	if e.staged {
+		cur := e.cur
+		for p, d := range e.dest[lo:hi] {
+			if m := cur[d]; m != nil {
+				in[k] = Incoming{Port: p, Msg: m}
+				k++
+			}
+		}
+		return in[:k]
+	}
+	cur := e.cur[lo:hi]
 	for p := range cur {
 		if m := cur[p]; m != nil {
 			cur[p] = nil
@@ -341,9 +384,41 @@ func (nd *Node) collect() []Incoming {
 	return in[:k]
 }
 
+// clearOut zeroes this node's out-slot range in the back buffer — the
+// staged-mode per-segment reset that replaces receiver-side clearing.
+// Bulk clear() takes the write-barrier path once per range instead of
+// once per slot.
+func (nd *Node) clearOut() {
+	e := nd.eng
+	clear(e.nxt[nd.base : nd.base+nd.deg])
+}
+
+// gather is staged-mode collect for the flat backend's per-chunk
+// delivery pass: the same pack of cur[dest[base:base+deg]] into the
+// node's inSlab range, but with the count parked in inCnt instead of
+// returning a slice, so the worker can run every gather of its chunk
+// back-to-back — the random reads of consecutive nodes then overlap in
+// the memory pipeline instead of serializing behind each OnRound (see
+// worker.deliver).
+func (nd *Node) gather() {
+	e := nd.eng
+	lo, hi := int(nd.base), int(nd.base)+int(nd.deg)
+	in := e.inSlab[lo:hi]
+	cur := e.cur
+	k := 0
+	for p, d := range e.dest[lo:hi] {
+		if m := cur[d]; m != nil {
+			in[k] = Incoming{Port: p, Msg: m}
+			k++
+		}
+	}
+	e.inCnt[nd.id] = int32(k)
+}
+
 // buildDest derives the one table the graph's own CSR arrays don't
-// already provide: dest[a] is the receiver-side mailbox slot arc
-// a = off(v)+p delivers into, i.e. off(nbr[a]) + rev[a].
+// already provide: dest[a] = off(nbr[a]) + rev[a], the out-slot of arc
+// a's reverse arc. It is its own inverse, which is what lets Send stage
+// into sender-local slots and collect gather through the same table.
 func buildDest(g *graph.Graph) []int32 {
 	off, nbr, _, rev := g.CSR()
 	dest := make([]int32, len(nbr))
@@ -430,19 +505,54 @@ type engine struct {
 	// only while liveEdge != nil (no mask ⇒ every edge live).
 	liveCount int
 
-	// Double-buffered mailboxes, one slot per directed arc. Programs read
-	// cur (clearing their own slots) and write nxt; the barrier swaps.
+	// Double-buffered mailboxes, one slot per directed arc; the barrier
+	// swaps the buffers. Slot indexing depends on staged (set once from
+	// the worker count):
+	//
+	//   - Scatter mode (one worker): sends write the receiver-side slot
+	//     nxt[dest[a]] and a node's inbox is its own contiguous range
+	//     cur[base, base+deg), read and cleared in one sequential pass by
+	//     collect. With a single worker no two writers can contend, so
+	//     the store scatter — whose misses the store buffer absorbs — is
+	//     the fastest delivery on one core.
+	//   - Staged mode (multiple workers): sends land in the sender's own
+	//     out-slot nxt[a] — a chunk's round writes only its own arc rows,
+	//     one sequential pass, so workers never write another chunk's
+	//     cache lines — and receivers gather cur[dest[a]] in the chunk's
+	//     delivery pass. Each live node bulk-clears its own nxt range
+	//     before every segment; ranges of nodes that stop clearing (done
+	//     or crashed) are scrubbed by their worker's wash schedule.
+	//
+	// dest is an involution (dest[dest[a]] == a), which is what lets both
+	// modes share one table, and the two modes deliver bit-identical
+	// inboxes — enforced across worker counts by every differential suite.
 	cur, nxt []Message
+	staged   bool
 	// inSlab backs every node's Step return slice, partitioned by base.
 	inSlab []Incoming
+	// inCnt[v] is the number of inSlab entries node v's last delivery
+	// pass packed (flat backend; see worker.deliver).
+	inCnt []int32
 
 	nodes []Node
+	state []uint8        // per-node stStarted/stDone bits, indexed by id (SoA: the sweeps scan bytes, not Node structs)
 	rnds  []rng.Rand     // per-node streams, indexed by id
-	coros []*pooledCoro  // adopted coroutines, indexed by id (cold, coroutine backend)
+	coros []*pooledCoro  // adopted coroutines of the current run (cold, coroutine backend)
 	progs []RoundProgram // per-node state machines (flat backend; nil ⇒ coroutine)
 
-	// progSlab backs progs across a Runner's flat runs (see runner.go).
+	// Coroutine handle slabs, indexed by id (coroutine backend only,
+	// allocated on first launch): coNext resumes a node's program, coYield
+	// parks it. Slab residence keeps Node itself read-only geometry.
+	coNext  []func() (struct{}, bool)
+	coYield []func(struct{}) bool
+
+	// progSlab backs progs across a Runner's flat runs (see runner.go)
+	// and one-shot RunFlat calls (sized from the pooled bundle).
 	progSlab []RoundProgram
+
+	// slabs is the pooled allocation bundle the slices above were sized
+	// from; close() zeroes and returns it (see slabs.go).
+	slabs *engineSlabs
 
 	// Active-set execution state (see active.go). active is the current
 	// restriction (nil ⇒ every node); actSlab retains the allocation
@@ -514,7 +624,41 @@ type worker struct {
 	panicID  int // lowest node id that panicked this run, -1 if none
 	panicVal any
 
-	prefetch bool // sink for the sweep's next-node warmup load
+	prefetch int32 // sink for the sweep's next-node warmup load
+
+	// Wash schedule for stale out-slots (see wash): nodes of this chunk
+	// that stopped clearing their own nxt range mid-run — done programs
+	// and crashed nodes. washNew collects this round's additions; each
+	// entry is scrubbed at the start of the next two sweeps (once per
+	// buffer of the double buffer), then dropped.
+	washOld, washNew []int32
+
+	// Trailing cache-line pad: adjacent workers in the engine's []worker
+	// slab must not share a line, or the per-send counter writes above
+	// (msgs/bits/maxBits, bumped on every Send of the chunk) would
+	// false-share and serialize multicore sweeps.
+	_ [64]byte
+}
+
+// wash scrubs the back-buffer out-slot ranges of the chunk's recently
+// finished senders. A node that goes done (or is crashed) during sweep r
+// stops running clearOut, but its final sends sit in one buffer and its
+// round r−1 sends in the other — both turn stale only after delivery, so
+// the node is washed at the start of sweeps r+1 and r+2 (hitting each
+// buffer exactly once, always post-delivery, never touching cur) and then
+// forgotten. All writes stay inside the chunk's own arc ranges.
+func (w *worker) wash() {
+	nodes := w.e.nodes
+	nxt := w.e.nxt
+	for _, v := range w.washOld {
+		nd := &nodes[v]
+		clear(nxt[nd.base : nd.base+nd.deg])
+	}
+	for _, v := range w.washNew {
+		nd := &nodes[v]
+		clear(nxt[nd.base : nd.base+nd.deg])
+	}
+	w.washOld, w.washNew = w.washNew, w.washOld[:0]
 }
 
 func (w *worker) notePanic(id int, v any) {
@@ -529,6 +673,9 @@ func (w *worker) runRound() {
 	w.parked, w.done, w.orCnt, w.maxCnt = 0, 0, 0, 0
 	w.or, w.max = false, math.Inf(-1)
 	w.msgs, w.bits, w.suppressed, w.maxBits = 0, 0, 0, 0
+	if len(w.washOld)+len(w.washNew) != 0 {
+		w.wash()
+	}
 	if w.e.progs != nil {
 		w.flatSweep()
 		return
@@ -537,45 +684,63 @@ func (w *worker) runRound() {
 }
 
 // coroSweep resumes every live node program of the chunk once. All
-// bookkeeping is node-side; the sweep itself is just the coroutine
-// switches. Under an active set only active nodes own coroutines, so the
-// sweep walks the sparse id slice or the chunk range under the bitmap.
+// bookkeeping is node-side; the sweep itself is the staged-mode
+// pre-segment out-slot clear plus the coroutine switch. Under an active
+// set only active nodes own coroutines, so the sweep walks the sparse id
+// slice or the chunk range under the bitmap.
 func (w *worker) coroSweep() {
-	nodes := w.e.nodes
-	switch w.e.sweep {
+	e := w.e
+	nodes := e.nodes
+	state := e.state
+	next := e.coNext
+	staged := e.staged
+	switch e.sweep {
 	case sweepList:
-		act := w.e.activeSorted[w.actLo:w.actHi]
+		act := e.activeSorted[w.actLo:w.actHi]
 		for j, i := range act {
-			nd := &nodes[i]
 			if j+1 < len(act) {
-				w.prefetch = nodes[act[j+1]].done
+				w.prefetch = nodes[act[j+1]].base
 			}
-			if !nd.done {
-				nd.next()
+			s := state[i]
+			if s&stDone != 0 {
+				continue
 			}
+			if staged && s&stStarted != 0 {
+				nodes[i].clearOut()
+			}
+			next[i]()
 		}
 	case sweepMask:
-		mask := w.e.active.mask
+		mask := e.active.mask
 		for i := w.lo; i < w.hi; i++ {
 			if !mask[i] {
 				continue
 			}
-			if nd := &nodes[i]; !nd.done {
-				nd.next()
+			s := state[i]
+			if s&stDone != 0 {
+				continue
 			}
+			if staged && s&stStarted != 0 {
+				nodes[i].clearOut()
+			}
+			next[i]()
 		}
 	default:
 		for i := w.lo; i < w.hi; i++ {
-			nd := &nodes[i]
 			if i+1 < w.hi {
 				// Touch the next node's line so it loads while this node's
 				// program runs; the sweep is latency-bound on cold per-node
 				// state. The store keeps the load from being dead-coded.
-				w.prefetch = nodes[i+1].done
+				w.prefetch = nodes[i+1].base
 			}
-			if !nd.done {
-				nd.next() // coroutine switch into the node program
+			s := state[i]
+			if s&stDone != 0 {
+				continue
 			}
+			if staged && s&stStarted != 0 {
+				nodes[i].clearOut()
+			}
+			next[i]() // coroutine switch into the node program
 		}
 	}
 }
@@ -599,23 +764,24 @@ func Run(g *graph.Graph, cfg Config, program func(*Node)) *Stats {
 	return &st
 }
 
+// chunkAlign is the worker-chunk boundary granularity in nodes: 64 nodes
+// of the one-byte state slab span exactly one cache line, so aligned
+// chunks write disjoint lines.
+const chunkAlign = 64
+
 func newEngine(g *graph.Graph, cfg Config) *engine {
 	n := g.N()
 	arcs := 2 * g.M()
 	_, nbr, eid, _ := g.CSR()
 	e := &engine{
-		g:      g,
-		cfg:    cfg,
-		n:      n,
-		nbr:    nbr,
-		eid:    eid,
-		dest:   destFor(g),
-		cur:    make([]Message, arcs),
-		nxt:    make([]Message, arcs),
-		inSlab: make([]Incoming, arcs),
-		nodes:  make([]Node, n),
-		rnds:   make([]rng.Rand, n),
+		g:    g,
+		cfg:  cfg,
+		n:    n,
+		nbr:  nbr,
+		eid:  eid,
+		dest: destFor(g),
 	}
+	e.takeSlabs(n, arcs)
 	base := int32(0)
 	for v := 0; v < n; v++ {
 		nd := &e.nodes[v]
@@ -633,18 +799,39 @@ func newEngine(g *graph.Graph, cfg Config) *engine {
 	if nw > n {
 		nw = n
 	}
+	// Delivery mode (see the mailbox comment above): a single worker runs
+	// the receiver-indexed scatter — fastest on one core, and contention
+	// is impossible — while concurrent workers stage sends in their own
+	// chunk rows so no worker ever writes another chunk's cache lines.
+	e.staged = nw > 1
 	e.workers = make([]worker, nw)
+	lo := int32(0)
 	for i := range e.workers {
+		hi := int32(n)
+		if i < nw-1 {
+			// Even split, rounded up to a chunkAlign-node multiple: the
+			// state-slab bytes (and every 64-byte-multiple per-node slab)
+			// of different chunks then live on disjoint cache lines, so
+			// concurrent sweeps never false-share per-node state.
+			hi = (int32((i+1)*n/nw) + chunkAlign - 1) &^ (chunkAlign - 1)
+			if hi > int32(n) {
+				hi = int32(n)
+			}
+			if hi < lo {
+				hi = lo
+			}
+		}
 		w := &e.workers[i]
 		*w = worker{
 			e:       e,
-			lo:      int32(i * n / nw),
-			hi:      int32((i + 1) * n / nw),
+			lo:      lo,
+			hi:      hi,
 			panicID: -1,
 		}
 		for v := w.lo; v < w.hi; v++ {
 			e.nodes[v].wk = w
 		}
+		lo = hi
 	}
 	if nw > 1 {
 		e.dispatch = make([]chan struct{}, nw)
@@ -788,26 +975,29 @@ func (e *engine) combine() worker {
 // marking the nodes done is the whole job.
 func (e *engine) abortLive() {
 	e.aborting = true
-	if e.progs != nil {
-		e.forEachActive(func(nd *Node) { nd.done = true })
+	state := e.state
+	if e.progs != nil || e.coNext == nil {
+		e.forEachActive(func(nd *Node) { state[nd.id] |= stDone })
 		return
 	}
 	e.forEachActive(func(nd *Node) {
-		if !nd.done {
-			nd.done = true
-			if nd.started {
-				nd.next()
+		if s := state[nd.id]; s&stDone == 0 {
+			state[nd.id] = s | stDone
+			if s&stStarted != 0 {
+				e.coNext[nd.id]()
 			}
 		}
 	})
 }
 
 // close cancels any remaining programs, returns the run's coroutines to
-// the pool (coroutine backend only), and releases the workers.
+// the pool (coroutine backend only), releases the workers, and recycles
+// the engine's slab bundle (see slabs.go).
 func (e *engine) close() {
 	e.abortLive()
 	releaseCoros(e.coros)
 	for _, ch := range e.dispatch {
 		close(ch)
 	}
+	e.putSlabs()
 }

@@ -226,8 +226,7 @@ func (e *engine) applyFaults() int {
 		case FaultDrop:
 			e.dropEdgeTraffic(int32(ev.Edge))
 		case FaultPanic:
-			nd := &e.nodes[ev.Node]
-			if nd.done || !e.nodeInRun(int32(ev.Node)) {
+			if e.state[ev.Node]&stDone != 0 || !e.nodeInRun(int32(ev.Node)) {
 				continue // target not running: the panic has no stack to fire on
 			}
 			e.abortLive()
@@ -249,7 +248,7 @@ func (e *engine) nodeInRun(v int32) bool {
 // participant was actually removed.
 func (e *engine) killNode(v int32) bool {
 	nd := &e.nodes[v]
-	if nd.done || !e.nodeInRun(v) || (e.crashed != nil && e.crashed[v]) {
+	if e.state[v]&stDone != 0 || !e.nodeInRun(v) || (e.crashed != nil && e.crashed[v]) {
 		return false
 	}
 	if e.crashed == nil {
@@ -261,11 +260,26 @@ func (e *engine) killNode(v int32) bool {
 	e.crashed[v] = true
 	e.crashedList = append(e.crashedList, v)
 	e.stats.CrashedNodes++
-	// In-flight messages addressed to the node die with it.
-	for a := nd.base; a < nd.base+nd.deg; a++ {
-		if e.cur[a] != nil {
-			e.cur[a] = nil
-			e.stats.SuppressedMessages++
+	// In-flight messages addressed to the node die with it. On a staged
+	// engine each sits in its sender's out-slot for the reverse arc —
+	// cur[dest[a]] — until the next sweep's gather; on a scatter engine
+	// they were delivered straight into the node's own cur range. Either
+	// way the node's round r−1 sends are left alone: a crash at boundary
+	// r means the node executed rounds < r in full, including delivery of
+	// its round r−1 traffic.
+	if e.staged {
+		for a := nd.base; a < nd.base+nd.deg; a++ {
+			if d := e.dest[a]; e.cur[d] != nil {
+				e.cur[d] = nil
+				e.stats.SuppressedMessages++
+			}
+		}
+	} else {
+		for a := nd.base; a < nd.base+nd.deg; a++ {
+			if e.cur[a] != nil {
+				e.cur[a] = nil
+				e.stats.SuppressedMessages++
+			}
 		}
 	}
 	// Terminate the program. Flat machines and coroutine programs that
@@ -274,25 +288,35 @@ func (e *engine) killNode(v int32) bool {
 	// sends and all. A suspended coroutine program is resumed once so park
 	// sees the crash and unwinds it (abortPanic, recovered by runProgram);
 	// the resume happens between rounds, so nothing it could observe has
-	// been swept yet and no counters survive (runRound resets them).
-	if e.progs != nil || nd.next == nil || e.roundIdx == 0 {
-		nd.done = true
+	// been swept yet and no counters survive (runRound resets them). On a
+	// staged engine the dead node stops clearing its out-slots, so it
+	// joins its worker's wash schedule (the unwind path does so in
+	// runProgram).
+	if e.progs != nil || e.coNext == nil || e.coNext[v] == nil || e.roundIdx == 0 {
+		e.state[v] |= stDone
+		if e.staged {
+			nd.wk.washNew = append(nd.wk.washNew, v)
+		}
 	} else {
-		nd.next()
+		e.coNext[v]()
 	}
 	return true
 }
 
 // dropEdgeTraffic clears the in-flight messages on both directions of
-// edge (delivered-into slots of its two endpoints), counting each.
+// edge, counting each. The two endpoint arc slots it clears hold the
+// edge's whole in-flight traffic in either delivery mode: on a staged
+// engine u's slot holds u's outbound message, on a scatter engine it
+// holds v's inbound one — the union over both endpoints is the same two
+// slots either way (dest is an involution).
 func (e *engine) dropEdgeTraffic(edge int32) {
 	u, v := e.g.Endpoints(int(edge))
-	e.dropArcInto(int32(u), edge)
-	e.dropArcInto(int32(v), edge)
+	e.dropEdgeArc(int32(u), edge)
+	e.dropEdgeArc(int32(v), edge)
 }
 
-// dropArcInto clears the in-flight message edge delivers into node w.
-func (e *engine) dropArcInto(w, edge int32) {
+// dropEdgeArc clears node w's own arc slot for edge in the front buffer.
+func (e *engine) dropEdgeArc(w, edge int32) {
 	nd := &e.nodes[w]
 	for a := nd.base; a < nd.base+nd.deg; a++ {
 		if e.eid[a] == edge {

@@ -55,7 +55,7 @@ type RoundProgram interface {
 func RunFlat(g *graph.Graph, cfg Config, factory func(nd *Node) RoundProgram) *Stats {
 	e := newEngine(g, cfg)
 	if e.n != 0 {
-		e.progs = make([]RoundProgram, e.n)
+		e.progs = e.progSlab
 		e.forEachActive(func(nd *Node) { e.progs[nd.id] = factory(nd) })
 		defer e.close()
 		e.loop()
@@ -107,61 +107,127 @@ func (nd *Node) GlobalMax() float64 { return nd.eng.maxGlobal }
 // Under an active set the sweep walks only active nodes — the sparse id
 // slice or the chunk range under the bitmap, per planSweep's density
 // choice — which is what makes a regional run cost O(active) per round.
+// A staged engine (multiple workers) runs the round in two per-chunk
+// passes: the delivery pass (worker.deliver) packs every live node's
+// inbox, then the step pass advances each machine with its pre-packed
+// inbox; both passes only write chunk-owned state (inSlab, inCnt, state
+// bytes, the chunk's nxt rows), so concurrent workers never contend. A
+// scatter engine steps each node against its own just-collected inbox in
+// a single pass.
 func (w *worker) flatSweep() {
 	e := w.e
 	nodes := e.nodes
-	cur := -1
+	state := e.state
+	stepping := -1
 	defer func() {
 		if r := recover(); r != nil {
-			nodes[cur].done = true
+			state[stepping] |= stDone
 			w.done++
-			w.notePanic(cur, r)
+			if e.staged {
+				w.washNew = append(w.washNew, int32(stepping))
+			}
+			w.notePanic(stepping, r)
 		}
 	}()
+	if e.staged {
+		w.deliver()
+	}
+	staged := e.staged
 	switch e.sweep {
 	case sweepList:
 		for _, i := range e.activeSorted[w.actLo:w.actHi] {
-			nd := &nodes[i]
-			if nd.done {
+			s := state[i]
+			if s&stDone != 0 {
 				continue
 			}
-			cur = int(i)
-			w.stepFlat(nd, i)
+			stepping = int(i)
+			w.stepFlat(&nodes[i], i, s, staged)
 		}
 	case sweepMask:
 		mask := e.active.mask
 		for i := w.lo; i < w.hi; i++ {
-			if !mask[i] || nodes[i].done {
+			if !mask[i] {
 				continue
 			}
-			cur = int(i)
-			w.stepFlat(&nodes[i], i)
+			s := state[i]
+			if s&stDone != 0 {
+				continue
+			}
+			stepping = int(i)
+			w.stepFlat(&nodes[i], i, s, staged)
 		}
 	default:
 		for i := w.lo; i < w.hi; i++ {
-			nd := &nodes[i]
-			if nd.done {
+			s := state[i]
+			if s&stDone != 0 {
 				continue
 			}
-			cur = int(i)
-			w.stepFlat(nd, i)
+			stepping = int(i)
+			w.stepFlat(&nodes[i], i, s, staged)
 		}
 	}
 }
 
-// stepFlat advances one live RoundProgram by one round.
-func (w *worker) stepFlat(nd *Node, i int32) {
+// deliver is the staged engine's per-chunk delivery pass: it packs every
+// live started node's inbox from the front buffer into the chunk's
+// inSlab rows. Running all of the chunk's gathers back-to-back,
+// uninterrupted by program code, lets their random front-buffer reads
+// overlap in the memory pipeline instead of serializing one OnRound at
+// a time.
+func (w *worker) deliver() {
+	e := w.e
+	nodes := e.nodes
+	state := e.state
+	switch e.sweep {
+	case sweepList:
+		for _, i := range e.activeSorted[w.actLo:w.actHi] {
+			if state[i]&(stStarted|stDone) == stStarted {
+				nodes[i].gather()
+			}
+		}
+	case sweepMask:
+		mask := e.active.mask
+		for i := w.lo; i < w.hi; i++ {
+			if mask[i] && state[i]&(stStarted|stDone) == stStarted {
+				nodes[i].gather()
+			}
+		}
+	default:
+		for i := w.lo; i < w.hi; i++ {
+			if state[i]&(stStarted|stDone) == stStarted {
+				nodes[i].gather()
+			}
+		}
+	}
+}
+
+// stepFlat advances one live RoundProgram by one round; s is the node's
+// already-loaded state byte. On a staged engine a continuing node first
+// bulk-clears its own out-slot range — the sender-indexed counterpart of
+// receiver-side mailbox clearing — then consumes the inbox the delivery
+// pass packed for it; on a scatter engine it collects (and thereby
+// clears) its own mailbox range inline.
+func (w *worker) stepFlat(nd *Node, i int32, s uint8, staged bool) {
+	e := w.e
 	var again bool
-	if nd.started {
-		again = w.e.progs[i].OnRound(nd, nd.collect())
+	if s&stStarted != 0 {
+		if staged {
+			nd.clearOut()
+			again = e.progs[i].OnRound(nd, e.inSlab[nd.base:nd.base+e.inCnt[i]])
+		} else {
+			again = e.progs[i].OnRound(nd, nd.collect())
+		}
 	} else {
-		nd.started = true
-		again = w.e.progs[i].Init(nd)
+		e.state[i] = s | stStarted
+		again = e.progs[i].Init(nd)
 	}
 	if again {
 		w.parked++
 	} else {
-		nd.done = true
+		e.state[i] |= stDone
 		w.done++
+		if staged {
+			w.washNew = append(w.washNew, i)
+		}
 	}
 }

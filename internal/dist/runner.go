@@ -131,12 +131,18 @@ func (e *engine) reset(seed uint64) {
 	}
 	e.planSweep()
 	e.forEachActive(func(nd *Node) {
-		nd.done, nd.started = false, false
-		nd.next, nd.yield = nil, nil
+		e.state[nd.id] = 0
+		if e.coNext != nil {
+			e.coNext[nd.id], e.coYield[nd.id] = nil, nil
+		}
 		e.rnds[nd.id].Seed(rng.ForkSeed(seed, uint64(nd.id)))
 	})
 	for i := range e.workers {
-		e.workers[i].panicID, e.workers[i].panicVal = -1, nil
+		w := &e.workers[i]
+		w.panicID, w.panicVal = -1, nil
+		// The previous run's pending washes address slots clearPrevMail
+		// already scrubbed (wash targets are always that run's steppers).
+		w.washOld, w.washNew = w.washOld[:0], w.washNew[:0]
 	}
 	// Fault state: the plan replays from its first event each run; crash
 	// marks are cleared in O(crashes) via the list, and the mask reverts

@@ -1,29 +1,45 @@
 #!/usr/bin/env bash
-# Records the backend and batching comparisons into BENCH_pr5.json:
-# node-rounds/s per protocol per backend with the flat/coro speedup
-# (engine round loop, Israeli-Itai, MIS, LPR quarter, the core pipeline
-# and LocalGreedy), the multi-worker scaling sweep (Config.Workers in
-# {1,2,4,8,16}), the batch-runner amortization pair, the PR-4
-# dynamic-maintainer switch pair — and, new in PR 5, the active-set
-# region-repair pair: ns per small-batch maintenance slot on a 4096-node
-# slab with the engine stepping only the repair region versus the PR-4
-# full sweep (identical maintainers, bit-identical matchings; the ratio
-# is pure sweep tax). Extends the BENCH trajectory (BENCH_baseline.json,
-# BENCH_pr2.json, BENCH_pr3.json, BENCH_pr4.json).
+# Records the backend and batching comparisons into BENCH_pr7.json:
+# node-rounds/s per protocol per backend with the flat/coro speedup —
+# now including the last two coroutine-only algorithms ported to flat
+# form in PR 7 (the Lemma 3.7 strict-CONGEST chunk pipeline and the
+# LOCAL-model generic algorithm) — plus the multi-worker scaling sweep
+# (Config.Workers in {1,2,4,8,16}), the new workers × topology grid
+# (4-regular / dense G(n,m) / irregular G(n,p) / star hub at workers
+# {1,2,4,8}), the batch-runner amortization pair, the dynamic-maintainer
+# switch pair and the PR-5 active-set region-repair pair. Extends the
+# BENCH trajectory (BENCH_baseline.json, BENCH_pr2.json, BENCH_pr3.json,
+# BENCH_pr4.json, BENCH_pr5.json).
+#
+# The recording host is a single shared vCPU whose throughput swings by
+# ±25% over minutes, so each benchmark runs COUNT times and the maximum
+# rate is recorded: the max estimates uncontended-hardware throughput,
+# which is the number comparable across PRs. Raise COUNT (and BENCHTIME)
+# for stabler numbers.
 # Run from the repository root: ./scripts/bench_compare.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr5.json
+out=BENCH_pr7.json
 benchtime=${BENCHTIME:-1s}
+count=${COUNT:-3}
 
-# The pairs and the worker sweep run as separate invocations: a "/" in a
+# The pairs and the sweeps run as separate invocations: a "/" in a
 # -bench alternation would be treated as a sub-benchmark separator.
-raw=$(go test -run '^$' -benchtime "$benchtime" \
-	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute|BenchmarkDynamicRegionRepairActive|BenchmarkDynamicRegionRepairFullSweep)$' \
+# The amortization/maintenance pairs get a process of their own — the
+# LOCAL-model generic pair retires hundreds of MB of map garbage, and
+# sharing its heap skews the GC pacing of whatever runs next.
+raw=$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
+	-bench '^(BenchmarkEngineRound|BenchmarkEngineRoundFlat|BenchmarkAlgIsraeliItai|BenchmarkAlgIsraeliItaiCoro|BenchmarkAlgMIS|BenchmarkAlgMISCoro|BenchmarkAlgLPRQuarter|BenchmarkAlgLPRQuarterCoro|BenchmarkAlgBipartiteMCM|BenchmarkAlgBipartiteMCMCoro|BenchmarkAlgGeneralMCM|BenchmarkAlgGeneralMCMCoro|BenchmarkAlgWeightedMWM|BenchmarkAlgWeightedMWMCoro|BenchmarkAlgLocalGreedy|BenchmarkAlgLocalGreedyCoro|BenchmarkAlgBipartiteStrict|BenchmarkAlgBipartiteStrictCoro|BenchmarkAlgGenericMCM|BenchmarkAlgGenericMCMCoro)$' \
 	. 2>&1)
-raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
+raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
+	-bench '^(BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute|BenchmarkDynamicRegionRepairActive|BenchmarkDynamicRegionRepairFullSweep)$' \
+	. 2>&1)
+raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 	-bench '^(BenchmarkEngineRoundWorkers|BenchmarkEngineRoundFlatWorkers)$/^w[0-9]+$' \
+	. 2>&1)
+raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
+	-bench '^BenchmarkEngineRoundFlatTopo$' \
 	. 2>&1)
 
 {
@@ -33,37 +49,42 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 	echo '  "cpus": '"$(nproc)"','
 	echo '  "cpu": "'"$(printf '%s\n' "$raw" | sed -n 's/^cpu: //p' | head -1)"'",'
 	echo '  "benchtime": "'"$benchtime"'",'
-	echo '  "metric": "node-rounds/s (pairs/scaling), ns/slot (dynamic)",'
-	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). scaling sweeps Config.Workers on both backends. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run. dynamic_switch compares one 16-port switch slot under bursty(16) traffic at load 0.95: incremental Maintainer (diff + regional repair, persistent engine) vs per-slot DistMCM (fresh request graph + engine + cold BipartiteMCM); E14 reports the rounds/messages twin of this pair. dynamic_region compares one small-batch maintenance slot (2-edge toggle, K=2, AuditEvery=16) on a 4096-node 3-regular bipartite slab: active-set execution (engine steps only the repair region) vs Options.FullSweep (every node stepped every round, the PR-4 schedule); matchings are bit-identical, so the speedup is pure sweep tax. E15 reports the node-rounds twin of this pair.",'
+	echo '  "count": '"$count"','
+	echo '  "metric": "node-rounds/s (pairs/scaling/topo), ns/slot (dynamic); best of count runs",'
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). BipartiteStrict (Lemma 3.7 B-bit chunk pipelining, B=8) and GenericMCM (LOCAL-model floods) are the PR-7 flat ports: the strict pair is sub-round dense so the backend tax dominates; the generic pair is dominated by per-message map merging, so the backends tie — an honest bound on what backend work can buy. scaling sweeps Config.Workers on both backends; topo_scaling sweeps the flat backend across message patterns (uniform 4-regular, dense gnm16, irregular gnp8, star hub). The host is a single vCPU: one worker is the knee, and every multi-worker point prices the staged-mode delivery pass plus dispatch overhead rather than real parallelism — except the star row, where the hub cost is serial in any schedule. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run; PR 7 closed this gap (2.9x in BENCH_pr5 to ~1x) by recycling engine slabs through a process-wide pool (see internal/dist/slabs.go). dynamic_switch and dynamic_region are the PR-4/PR-5 maintenance pairs, unchanged.",'
 	printf '%s\n' "$raw" | awk '
 		/^Benchmark/ {
 			name=$1; sub(/-[0-9]+$/, "", name)
 			rate=0
 			for (i=2; i<NF; i++) if ($(i+1) == "node-rounds/s") rate=$i
-			rates[name]=rate
+			if (rate > rates[name]) rates[name]=rate
 			nspop=0
 			for (i=2; i<NF; i++) if ($(i+1) == "ns/op") nspop=$i
-			ns[name]=nspop
+			if (ns[name] == 0 || (nspop > 0 && nspop < ns[name])) ns[name]=nspop
 		}
 		END {
-			pairs["EngineRound"]  = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
-			pairs["IsraeliItai"]  = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
-			pairs["MIS"]          = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
-			pairs["LPRQuarter"]   = "BenchmarkAlgLPRQuarterCoro BenchmarkAlgLPRQuarter"
-			pairs["BipartiteMCM"] = "BenchmarkAlgBipartiteMCMCoro BenchmarkAlgBipartiteMCM"
-			pairs["GeneralMCM"]   = "BenchmarkAlgGeneralMCMCoro BenchmarkAlgGeneralMCM"
-			pairs["WeightedMWM"]  = "BenchmarkAlgWeightedMWMCoro BenchmarkAlgWeightedMWM"
-			pairs["LocalGreedy"]  = "BenchmarkAlgLocalGreedyCoro BenchmarkAlgLocalGreedy"
+			pairs["EngineRound"]     = "BenchmarkEngineRound BenchmarkEngineRoundFlat"
+			pairs["IsraeliItai"]     = "BenchmarkAlgIsraeliItaiCoro BenchmarkAlgIsraeliItai"
+			pairs["MIS"]             = "BenchmarkAlgMISCoro BenchmarkAlgMIS"
+			pairs["LPRQuarter"]      = "BenchmarkAlgLPRQuarterCoro BenchmarkAlgLPRQuarter"
+			pairs["BipartiteMCM"]    = "BenchmarkAlgBipartiteMCMCoro BenchmarkAlgBipartiteMCM"
+			pairs["BipartiteStrict"] = "BenchmarkAlgBipartiteStrictCoro BenchmarkAlgBipartiteStrict"
+			pairs["GeneralMCM"]      = "BenchmarkAlgGeneralMCMCoro BenchmarkAlgGeneralMCM"
+			pairs["GenericMCM"]      = "BenchmarkAlgGenericMCMCoro BenchmarkAlgGenericMCM"
+			pairs["WeightedMWM"]     = "BenchmarkAlgWeightedMWMCoro BenchmarkAlgWeightedMWM"
+			pairs["LocalGreedy"]     = "BenchmarkAlgLocalGreedyCoro BenchmarkAlgLocalGreedy"
 			order[1]="EngineRound"; order[2]="IsraeliItai"; order[3]="MIS"; order[4]="LPRQuarter"
-			order[5]="BipartiteMCM"; order[6]="GeneralMCM"; order[7]="WeightedMWM"; order[8]="LocalGreedy"
+			order[5]="BipartiteMCM"; order[6]="BipartiteStrict"; order[7]="GeneralMCM"
+			order[8]="GenericMCM"; order[9]="WeightedMWM"; order[10]="LocalGreedy"
+			np=10
 			printf "  \"pairs\": [\n"
-			for (k=1; k<=8; k++) {
+			for (k=1; k<=np; k++) {
 				p=order[k]
 				split(pairs[p], b, " ")
 				coro=rates[b[1]]+0; flat=rates[b[2]]+0
 				speedup = (coro > 0) ? flat/coro : 0
 				printf "    {\"name\": \"%s\", \"coro\": %.0f, \"flat\": %.0f, \"speedup\": %.2f}%s\n", \
-					p, coro, flat, speedup, (k<8 ? "," : "")
+					p, coro, flat, speedup, (k<np ? "," : "")
 			}
 			printf "  ],\n"
 			fresh=rates["BenchmarkRunnerShortFresh"]+0
@@ -86,6 +107,21 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" \
 				flat=rates["BenchmarkEngineRoundFlatWorkers/w" w]+0
 				printf "    {\"workers\": %s, \"coro\": %.0f, \"flat\": %.0f}%s\n", \
 					w, coro, flat, (k<nw ? "," : "")
+			}
+			printf "  ],\n"
+			printf "  \"topo_scaling\": [\n"
+			nt=split("dreg4 gnm16 gnp8 star", ts, " ")
+			nw2=split("1 2 4 8", ws2, " ")
+			row=0
+			for (k=1; k<=nt; k++) {
+				t=ts[k]
+				for (j=1; j<=nw2; j++) {
+					w=ws2[j]
+					row++
+					r=rates["BenchmarkEngineRoundFlatTopo/" t "/w" w]+0
+					printf "    {\"topology\": \"%s\", \"workers\": %s, \"flat\": %.0f}%s\n", \
+						t, w, r, (row<nt*nw2 ? "," : "")
+				}
 			}
 			printf "  ]\n"
 		}'
