@@ -34,6 +34,7 @@ import (
 	"distmatch/internal/lpr"
 	"distmatch/internal/mis"
 	"distmatch/internal/rng"
+	"distmatch/internal/shard"
 )
 
 // Re-exported fundamental types.
@@ -365,4 +366,55 @@ func WithUniformWeights(seed uint64, g *Graph, lo, hi float64) *Graph {
 // WithExpWeights re-weights g with i.i.d. exponential weights.
 func WithExpWeights(seed uint64, g *Graph, mean float64) *Graph {
 	return gen.ExpWeights(rng.New(seed), g, mean)
+}
+
+// ---- Fault-tolerant sharded serving (see DESIGN.md §8) ----
+
+// Pool is the sharded serving layer: the slab partitioned across
+// independent Maintainers (one per shard, its own engine), edge updates
+// routed to their owning shards, crossing edges resolved by a bounded
+// conflict-resolution pass, and a supervisor that fences Degraded shards
+// behind last-good snapshots and cold-rebuilds crashed ones with capped
+// exponential backoff. Queries are valid global matchings at every
+// moment; partial or stale answers carry explicit flags. See NewPool.
+type Pool = shard.Pool
+
+// PoolOptions configures NewPool.
+type PoolOptions = shard.Options
+
+// PoolReport describes what one Pool.Apply did.
+type PoolReport = shard.Report
+
+// PoolResponse is one matching query against the pool, flags included.
+type PoolResponse = shard.Response
+
+// PoolStatus is one shard's supervisor view.
+type PoolStatus = shard.ShardStatus
+
+// PoolStats aggregates a Pool's lifetime costs.
+type PoolStats = shard.Stats
+
+// ShardKillPlan is a deterministic shard-kill/restart schedule — the
+// shard-granular analogue of FaultPlan. See NewShardKillPlan.
+type ShardKillPlan = shard.KillPlan
+
+// ShardKillEvent schedules one supervisor action.
+type ShardKillEvent = shard.KillEvent
+
+// The ShardKillEvent kinds.
+const (
+	// ShardKill takes the shard down; it auto-restarts after its backoff.
+	ShardKill = shard.Kill
+	// ShardRestart forces an immediate cold rebuild.
+	ShardRestart = shard.Restart
+)
+
+// NewPool builds a sharded serving pool over the bipartite slab g.
+func NewPool(g *Graph, opts PoolOptions) *Pool { return shard.New(g, opts) }
+
+// NewShardKillPlan validates and sorts a kill/restart schedule for
+// Pool.SetKillPlan: same pool seed, same updates, same plan —
+// bit-identical histories.
+func NewShardKillPlan(events []ShardKillEvent) *ShardKillPlan {
+	return shard.NewKillPlan(events)
 }

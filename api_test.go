@@ -232,3 +232,55 @@ func TestFacadeBackendOption(t *testing.T) {
 		t.Fatalf("MIS backend stats diverge: %v vs %v", mcst, mfst)
 	}
 }
+
+// TestFacadePool drives the sharded serving facade end to end: full
+// start, churn, a kill-plan event mid-stream, flagged degraded serving,
+// auto-restart and re-certification.
+func TestFacadePool(t *testing.T) {
+	g := RandomBipartite(19, 24, 24, 0.2)
+	p := NewPool(g, PoolOptions{Shards: 4, K: 2, Seed: 19, AuditEvery: 4})
+	defer p.Close()
+	if p.Matching().Size() == 0 {
+		t.Fatal("full start served nothing")
+	}
+	p.SetKillPlan(NewShardKillPlan([]ShardKillEvent{
+		{Step: 2, Shard: 1, Kind: ShardKill},
+		{Step: 5, Shard: 1, Kind: ShardRestart},
+	}))
+	sawDown := false
+	for step := 0; step < 12; step++ {
+		e := step % g.M()
+		op := EdgeDelete
+		if !p.Live(e) {
+			op = EdgeInsert
+		}
+		rep := p.Apply(Batch{Update{Edge: e, Op: op}})
+		q := p.Query()
+		if err := q.Matching.Verify(g); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(q.Down) > 0 {
+			sawDown = true
+			if !q.Degraded || !rep.Degraded {
+				t.Fatalf("step %d: down shard not flagged: %+v", step, q)
+			}
+		}
+	}
+	if !sawDown {
+		t.Fatal("kill plan never took shard 1 down")
+	}
+	certified := false
+	for i := 0; i < 10 && !certified; i++ {
+		rep := p.Apply(nil)
+		certified = rep.Audited && rep.CertificateOK
+	}
+	if !certified {
+		t.Fatal("pool did not re-certify after the kill window")
+	}
+	if st := p.Status()[1]; st.Restarts == 0 {
+		t.Fatalf("shard 1 never rebuilt: %+v", st)
+	}
+	if tot := p.Totals(); tot.Kills == 0 || tot.Restarts == 0 {
+		t.Fatalf("totals missed the schedule: %+v", tot)
+	}
+}

@@ -687,3 +687,95 @@ func BenchmarkSwitchSlotISLIP(b *testing.B) {
 		switchsched.Simulate(16, switchsched.Uniform{}, &switchsched.ISLIP{Iters: 1}, 0.9, 2000, uint64(i))
 	}
 }
+
+// ---- Sharded serving: pool apply vs one flat Maintainer ----
+//
+// The BENCH_pr8.json group: one churn slot on a 512+512 bipartite slab
+// (fully live start, 4 edge toggles per slot), served either by the
+// 4-shard fault-tolerant Pool (routing + parallel shard applies +
+// crossing resolution per slot) or by a single Maintainer over the same
+// slab — the price of the failure domain boundary. The query benchmark
+// prices the read path under the pool's snapshot cache.
+
+func shardServingSlab() *Graph {
+	return gen.BipartiteGnp(rng.New(88), 512, 512, math.Min(1, 4.0/512))
+}
+
+func benchShardToggles(m int) func(r *rng.Rand, live []bool) Batch {
+	return func(r *rng.Rand, live []bool) Batch {
+		b := make(Batch, 0, 4)
+		for i := 0; i < 4; i++ {
+			e := r.Intn(m)
+			op := EdgeInsert
+			if live[e] {
+				op = EdgeDelete
+			}
+			live[e] = !live[e]
+			b = append(b, Update{Edge: e, Op: op})
+		}
+		return b
+	}
+}
+
+// BenchmarkShardServingPoolApply is one slot through the 4-shard Pool.
+func BenchmarkShardServingPoolApply(b *testing.B) {
+	g := shardServingSlab()
+	p := NewPool(g, PoolOptions{Shards: 4, K: 2, Seed: 6, AuditEvery: 16})
+	defer p.Close()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(toggles(r, live))
+	}
+}
+
+// BenchmarkShardServingSingleApply is the identical slot stream through
+// one unsharded Maintainer — the no-failure-domain baseline.
+func BenchmarkShardServingSingleApply(b *testing.B) {
+	g := shardServingSlab()
+	mt := NewMaintainer(g, MaintainerOptions{K: 2, Seed: 6, AuditEvery: 16})
+	defer mt.Close()
+	mt.Recompute()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Apply(toggles(r, live))
+	}
+}
+
+// BenchmarkShardServingQuery is one flagged read off the pool's
+// snapshot cache after churn: a fixed warmup dirties and recomposes the
+// pool, then the loop measures the pure read path. (Churn must not ride
+// inside the loop, even untimed — the apply cost per 16 reads is ~500×
+// the read itself, so StopTimer bookkeeping would dominate wall-clock
+// as b.N ramps.)
+func BenchmarkShardServingQuery(b *testing.B) {
+	g := shardServingSlab()
+	p := NewPool(g, PoolOptions{Shards: 4, K: 2, Seed: 6, AuditEvery: 16})
+	defer p.Close()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	for i := 0; i < 32; i++ {
+		p.Apply(toggles(r, live))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q := p.Query(); q.Matching == nil {
+			b.Fatal("nil matching")
+		}
+	}
+}

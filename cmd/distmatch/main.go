@@ -51,6 +51,7 @@ func main() {
 	churn := flag.Int("churn", 4, "dynamic mode: edge insert/delete flips per batch")
 	chaosMode := flag.Bool("chaos", false, "run seeded chaos schedules against the incremental Maintainer: random fault plans (crashes, drops, panics) and node crashes under churn, verifying every slot serves a valid matching and the Maintainer heals to a certified (1-1/k) matching; -schedules/-n/-k/-seed/-backend apply")
 	schedules := flag.Int("schedules", 50, "chaos mode: number of seeded schedules")
+	chaosShards := flag.Int("chaosshards", 0, "chaos mode: >0 runs shard-level schedules instead (kill plans and per-shard fault plans against a Pool of this many shards)")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile, *tracefile)
@@ -61,7 +62,7 @@ func main() {
 		if !nSet {
 			*n = 8 // chaos drives many schedules; default to a small slab
 		}
-		runChaos(*schedules, *n, *k, *seed, parseBackend(*backend))
+		runChaos(*schedules, *n, *k, *chaosShards, *seed, parseBackend(*backend))
 		stopProfiles()
 		return
 	}
@@ -135,8 +136,19 @@ func main() {
 
 // runChaos is the -chaos mode: a sweep of seeded fault schedules, each a
 // pure function of its seed (rerun with the printed seed to replay a
-// failure exactly).
-func runChaos(schedules, n, k int, seed uint64, be dist.Backend) {
+// failure exactly). With -chaosshards the schedules are shard-level:
+// seeded kill/restart plans and per-shard fault plans against a Pool.
+// The exit code is trustworthy in scripts: any failed schedule — and
+// any vacuous sweep that injected nothing — exits non-zero.
+func runChaos(schedules, n, k, shards int, seed uint64, be dist.Backend) {
+	if schedules < 1 {
+		fmt.Fprintf(os.Stderr, "chaos: -schedules must be at least 1 (got %d)\n", schedules)
+		os.Exit(2)
+	}
+	if shards > 0 {
+		runShardChaos(schedules, n, k, shards, seed, be)
+		return
+	}
 	fmt.Printf("chaos: %d schedules, %dx%d slab, k=%d, base seed %d\n", schedules, n, n, k, seed)
 	var faults, degraded, recovering, crashed, cleanSlots int
 	failed := 0
@@ -164,7 +176,50 @@ func runChaos(schedules, n, k int, seed uint64, be dist.Backend) {
 		fmt.Fprintf(os.Stderr, "%d/%d schedules FAILED\n", failed, schedules)
 		os.Exit(1)
 	}
+	if faults == 0 && crashed == 0 {
+		fmt.Fprintf(os.Stderr, "chaos: sweep injected no faults and crashed no nodes — a vacuous pass; raise -schedules or -n\n")
+		os.Exit(1)
+	}
 	fmt.Printf("all %d schedules served valid matchings and re-converged\n", schedules)
+}
+
+// runShardChaos sweeps shard-level schedules (chaos.RunShards) and
+// applies the same no-vacuous-pass discipline.
+func runShardChaos(schedules, n, k, shards int, seed uint64, be dist.Backend) {
+	fmt.Printf("chaos: %d shard schedules, %dx%d slab, %d shards, k=%d, base seed %d\n",
+		schedules, n, n, shards, k, seed)
+	var kills, restarts, armed, degraded, down, cleanSlots int
+	failed := 0
+	for i := 0; i < schedules; i++ {
+		s := seed + uint64(i)
+		res, err := chaos.RunShards(chaos.ShardConfig{Seed: s, NX: n, NY: n, K: k, Shards: shards, Backend: be})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", s, err)
+			continue
+		}
+		kills += res.Totals.Kills
+		restarts += res.Totals.Restarts
+		armed += res.Armed
+		degraded += res.DegradedSlots
+		down += res.DownSlots
+		cleanSlots += res.CleanSlots
+	}
+	fmt.Printf("injected:  %d shard kills, %d fault-plan arms\n", kills, armed)
+	fmt.Printf("serving:   %d degraded slots, %d down shard-slots, %d rebuilds\n", degraded, down, restarts)
+	if ok := schedules - failed; ok > 0 {
+		fmt.Printf("healing:   %.1f clean slots to re-certify on average\n",
+			float64(cleanSlots)/float64(ok))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d schedules FAILED\n", failed, schedules)
+		os.Exit(1)
+	}
+	if kills == 0 && armed == 0 {
+		fmt.Fprintf(os.Stderr, "chaos: sweep killed no shards and armed no faults — a vacuous pass; raise -schedules\n")
+		os.Exit(1)
+	}
+	fmt.Printf("all %d schedules served valid composed matchings and re-converged\n", schedules)
 }
 
 // runDynamic is the -dynamic mode: one churn stream over a bipartite

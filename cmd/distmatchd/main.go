@@ -1,0 +1,83 @@
+// Command distmatchd serves a fault-tolerant sharded matching pool over
+// HTTP: the slab is partitioned across independent incremental
+// Maintainers (one per shard), edge updates route to their owning
+// shards, and a supervisor fences degraded shards behind last-good
+// snapshots and cold-rebuilds crashed ones with capped exponential
+// backoff — so the composed matching stays valid and explicitly flagged
+// through any single shard's failure.
+//
+//	distmatchd -addr :8080 -nx 64 -ny 64 -p 0.1 -shards 4 -k 3
+//
+// The JSON API (all bodies application/json):
+//
+//	POST /v1/apply               {"updates":[{"edge":7,"op":"insert","weight":1.5}]}
+//	GET  /v1/matching            composed matching + degraded/stale/certified flags
+//	GET  /v1/health              200 fresh / 503 degraded, per-shard detail
+//	GET  /v1/stats               lifetime pool counters
+//	POST /v1/shards/{id}/kill    take a shard down (auto-restarts after backoff)
+//	POST /v1/shards/{id}/restart force a cold rebuild now
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+	"distmatch/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nx := flag.Int("nx", 64, "left-side nodes of the bipartite slab")
+	ny := flag.Int("ny", 64, "right-side nodes")
+	prob := flag.Float64("p", 0.1, "slab edge probability")
+	shards := flag.Int("shards", 4, "pool width")
+	k := flag.Int("k", 3, "approximation target: certified matchings are (1-1/k)-approximate")
+	seed := flag.Uint64("seed", 1, "root seed (identical seeds and request sequences replay bit-identically)")
+	full := flag.Bool("full", false, "start with every slab edge live instead of empty")
+	auditEvery := flag.Int("audit", 8, "pool conflict-audit cadence in applies")
+	backoff := flag.Int("backoff", 1, "base auto-restart backoff of a killed shard, in applies")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	workers := flag.Int("workers", 0, "engine worker goroutines (0 = one per core)")
+	backend := flag.String("backend", "auto", "engine backend: auto | coro | flat")
+	flag.Parse()
+
+	var be dist.Backend
+	switch *backend {
+	case "auto":
+		be = dist.BackendAuto
+	case "coro":
+		be = dist.BackendCoroutine
+	case "flat":
+		be = dist.BackendFlat
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+
+	g := gen.BipartiteGnp(rng.New(*seed), *nx, *ny, *prob)
+	pool := shard.New(g, shard.Options{
+		Shards: *shards, K: *k, Seed: *seed,
+		StartEmpty: !*full, AuditEvery: *auditEvery,
+		RestartBackoff: *backoff,
+		Workers:        *workers, Backend: be,
+	})
+	defer pool.Close()
+
+	fmt.Printf("distmatchd: slab %v, %d shards, k=%d, seed %d — listening on %s\n",
+		g, *shards, *k, *seed, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(pool, *timeout),
+		ReadHeaderTimeout: *timeout,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "distmatchd: %v\n", err)
+		os.Exit(1)
+	}
+}

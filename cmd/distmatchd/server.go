@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"distmatch/internal/dynamic"
+	"distmatch/internal/shard"
+)
+
+// server is the HTTP facade over one shard.Pool. The Pool is already
+// goroutine-safe (mutators serialize on its write lock, queries take the
+// read lock), so handlers call it directly; the TimeoutHandler wrapper
+// bounds every request so a slow apply can never wedge a client.
+type server struct {
+	pool *shard.Pool
+}
+
+// newHandler builds the routed, timeout-bounded handler for p.
+func newHandler(p *shard.Pool, timeout time.Duration) http.Handler {
+	s := &server{pool: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/apply", s.handleApply)
+	mux.HandleFunc("GET /v1/matching", s.handleMatching)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/shards/{id}/kill", s.handleKill)
+	mux.HandleFunc("POST /v1/shards/{id}/restart", s.handleRestart)
+	return http.TimeoutHandler(mux, timeout, `{"error":"request timed out"}`)
+}
+
+// applyRequest is the POST /v1/apply body: one batch of edge updates
+// against the slab, applied atomically per shard.
+type applyRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type updateJSON struct {
+	Edge   int     `json:"edge"`
+	Op     string  `json:"op"` // insert | delete | setweight
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// reportJSON mirrors shard.Report for the wire.
+type reportJSON struct {
+	Step            int      `json:"step"`
+	Routed          int      `json:"routed"`
+	Crossing        int      `json:"crossing"`
+	Deferred        int      `json:"deferred"`
+	Killed          []int    `json:"killed,omitempty"`
+	Restarted       []int    `json:"restarted,omitempty"`
+	Crashed         []int    `json:"crashed,omitempty"`
+	Healths         []string `json:"healths"`
+	Down            []bool   `json:"down"`
+	Audited         bool     `json:"audited"`
+	CertificateOK   bool     `json:"certificate_ok"`
+	CrossingMatched int      `json:"crossing_matched"`
+	Degraded        bool     `json:"degraded"`
+}
+
+func toReportJSON(rep shard.Report) reportJSON {
+	hs := make([]string, len(rep.Healths))
+	for i, h := range rep.Healths {
+		hs[i] = h.String()
+	}
+	return reportJSON{
+		Step: rep.Step, Routed: rep.Routed, Crossing: rep.Crossing, Deferred: rep.Deferred,
+		Killed: rep.Killed, Restarted: rep.Restarted, Crashed: rep.Crashed,
+		Healths: hs, Down: rep.Down,
+		Audited: rep.Audited, CertificateOK: rep.CertificateOK,
+		CrossingMatched: rep.CrossingMatched, Degraded: rep.Degraded,
+	}
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req applyRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad apply body: %v", err)
+		return
+	}
+	m := s.pool.Graph().M()
+	batch := make(dynamic.Batch, 0, len(req.Updates))
+	for i, u := range req.Updates {
+		if u.Edge < 0 || u.Edge >= m {
+			httpError(w, http.StatusBadRequest, "update %d: edge %d outside slab of %d edges", i, u.Edge, m)
+			return
+		}
+		var op dynamic.Op
+		switch u.Op {
+		case "insert":
+			op = dynamic.Insert
+		case "delete":
+			op = dynamic.Delete
+		case "setweight":
+			op = dynamic.SetWeight
+		default:
+			httpError(w, http.StatusBadRequest, "update %d: unknown op %q (insert | delete | setweight)", i, u.Op)
+			return
+		}
+		batch = append(batch, dynamic.Update{Edge: u.Edge, Op: op, Weight: u.Weight})
+	}
+	writeJSON(w, http.StatusOK, toReportJSON(s.pool.Apply(batch)))
+}
+
+// matchingResponse is the GET /v1/matching body: the composed matching
+// with its serving flags — partial results are explicit, never silent.
+type matchingResponse struct {
+	Size int `json:"size"`
+	// Edges lists the matched edges as [edge, u, v] triples.
+	Edges [][3]int `json:"edges"`
+	// Degraded means the answer may be partial or stale; Down and Stale
+	// name the shards responsible (down, or serving last-good snapshots).
+	Degraded bool  `json:"degraded"`
+	Down     []int `json:"down,omitempty"`
+	Stale    []int `json:"stale,omitempty"`
+	// Certified reports the pool's conflict audit: the composed matching
+	// is (1−1/K)-approximate on the live subgraph.
+	Certified bool `json:"certified"`
+	Step      int  `json:"step"`
+}
+
+func (s *server) handleMatching(w http.ResponseWriter, r *http.Request) {
+	q := s.pool.Query()
+	g := s.pool.Graph()
+	edges := make([][3]int, 0, q.Matching.Size())
+	for _, e := range q.Matching.Edges(g) {
+		u, v := g.Endpoints(e)
+		edges = append(edges, [3]int{e, u, v})
+	}
+	writeJSON(w, http.StatusOK, matchingResponse{
+		Size: q.Matching.Size(), Edges: edges,
+		Degraded: q.Degraded, Down: q.Down, Stale: q.Stale,
+		Certified: q.Certified, Step: q.Step,
+	})
+}
+
+// healthResponse is the GET /v1/health body. The status code carries the
+// load-balancer contract: 200 while every shard serves fresh answers,
+// 503 while any shard is down or stale — degraded serving continues on
+// /v1/matching either way.
+type healthResponse struct {
+	Degraded  bool          `json:"degraded"`
+	Certified bool          `json:"certified"`
+	Step      int           `json:"step"`
+	Shards    []shardStatus `json:"shards"`
+}
+
+type shardStatus struct {
+	ID            int    `json:"id"`
+	Health        string `json:"health"`
+	Up            bool   `json:"up"`
+	Restarts      int    `json:"restarts"`
+	Backoff       int    `json:"backoff"`
+	WakeAt        int    `json:"wake_at,omitempty"`
+	Nodes         int    `json:"nodes"`
+	InternalEdges int    `json:"internal_edges"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	q := s.pool.Query()
+	st := s.pool.Status()
+	resp := healthResponse{Degraded: q.Degraded, Certified: q.Certified, Step: q.Step}
+	for id, sh := range st {
+		resp.Shards = append(resp.Shards, shardStatus{
+			ID: id, Health: sh.Health.String(), Up: sh.Up,
+			Restarts: sh.Restarts, Backoff: sh.Backoff, WakeAt: sh.WakeAt,
+			Nodes: sh.Nodes, InternalEdges: sh.InternalEdges,
+		})
+	}
+	code := http.StatusOK
+	if q.Degraded {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Totals())
+}
+
+func (s *server) handleKill(w http.ResponseWriter, r *http.Request) {
+	id, ok := shardID(w, r, s.pool.Shards())
+	if !ok {
+		return
+	}
+	if err := s.pool.KillShard(id); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": id})
+}
+
+func (s *server) handleRestart(w http.ResponseWriter, r *http.Request) {
+	id, ok := shardID(w, r, s.pool.Shards())
+	if !ok {
+		return
+	}
+	if err := s.pool.RestartShard(id); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"restarted": id})
+}
+
+func shardID(w http.ResponseWriter, r *http.Request, n int) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= n {
+		httpError(w, http.StatusNotFound, "no shard %q of %d", r.PathValue("id"), n)
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

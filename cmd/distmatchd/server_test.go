@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+	"distmatch/internal/shard"
+)
+
+func testServer(t *testing.T) (*shard.Pool, *httptest.Server) {
+	t.Helper()
+	g := gen.BipartiteGnp(rng.New(7), 12, 12, 0.3)
+	pool := shard.New(g, shard.Options{Shards: 4, K: 2, Seed: 7, StartEmpty: true, AuditEvery: 4})
+	ts := httptest.NewServer(newHandler(pool, 5*time.Second))
+	t.Cleanup(func() { ts.Close(); pool.Close() })
+	return pool, ts
+}
+
+func doJSON(t *testing.T, method, url, body string, wantCode int) map[string]any {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d (%v)", method, url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+// TestServerApplyAndMatching drives inserts through the API and reads
+// the composed matching back with its flags.
+func TestServerApplyAndMatching(t *testing.T) {
+	pool, ts := testServer(t)
+	g := pool.Graph()
+
+	// Insert every edge in a few batches, then let the audit certify.
+	for e := 0; e < g.M(); e += 8 {
+		var ups []string
+		for i := e; i < e+8 && i < g.M(); i++ {
+			ups = append(ups, fmt.Sprintf(`{"edge":%d,"op":"insert","weight":1.5}`, i))
+		}
+		rep := doJSON(t, "POST", ts.URL+"/v1/apply",
+			`{"updates":[`+strings.Join(ups, ",")+`]}`, http.StatusOK)
+		if rep["degraded"].(bool) {
+			t.Fatalf("fault-free apply degraded: %v", rep)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[]}`, http.StatusOK)
+	}
+
+	m := doJSON(t, "GET", ts.URL+"/v1/matching", "", http.StatusOK)
+	if m["size"].(float64) == 0 {
+		t.Fatalf("matching empty after inserting every edge: %v", m)
+	}
+	if !m["certified"].(bool) {
+		t.Fatalf("matching not certified after quiet applies: %v", m)
+	}
+	if m["degraded"].(bool) {
+		t.Fatalf("matching degraded without faults: %v", m)
+	}
+	if n := len(m["edges"].([]any)); n != int(m["size"].(float64)) {
+		t.Fatalf("edges %d != size %v", n, m["size"])
+	}
+
+	h := doJSON(t, "GET", ts.URL+"/v1/health", "", http.StatusOK)
+	if len(h["shards"].([]any)) != 4 {
+		t.Fatalf("health shards: %v", h)
+	}
+	st := doJSON(t, "GET", ts.URL+"/v1/stats", "", http.StatusOK)
+	if st["Routed"].(float64) == 0 {
+		t.Fatalf("stats routed nothing: %v", st)
+	}
+}
+
+// TestServerKillRestartFailover exercises the failover endpoints: a
+// killed shard flips /v1/health to 503 with the down shard named,
+// /v1/matching keeps serving flagged answers, and the restart endpoint
+// brings the pool back to 200.
+func TestServerKillRestartFailover(t *testing.T) {
+	pool, ts := testServer(t)
+	g := pool.Graph()
+	var ups []string
+	for e := 0; e < g.M(); e++ {
+		ups = append(ups, fmt.Sprintf(`{"edge":%d,"op":"insert"}`, e))
+	}
+	doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[`+strings.Join(ups, ",")+`]}`, http.StatusOK)
+
+	doJSON(t, "POST", ts.URL+"/v1/shards/2/kill", "", http.StatusOK)
+	// Double kill conflicts; bad ids 404.
+	doJSON(t, "POST", ts.URL+"/v1/shards/2/kill", "", http.StatusConflict)
+	doJSON(t, "POST", ts.URL+"/v1/shards/9/kill", "", http.StatusNotFound)
+	doJSON(t, "POST", ts.URL+"/v1/shards/x/restart", "", http.StatusNotFound)
+
+	h := doJSON(t, "GET", ts.URL+"/v1/health", "", http.StatusServiceUnavailable)
+	if !h["degraded"].(bool) {
+		t.Fatalf("health not degraded after kill: %v", h)
+	}
+	m := doJSON(t, "GET", ts.URL+"/v1/matching", "", http.StatusOK)
+	if !m["degraded"].(bool) || fmt.Sprint(m["down"]) != "[2]" {
+		t.Fatalf("degraded serving not flagged: %v", m)
+	}
+
+	doJSON(t, "POST", ts.URL+"/v1/shards/2/restart", "", http.StatusOK)
+	for i := 0; i < 10; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[]}`, http.StatusOK)
+	}
+	h = doJSON(t, "GET", ts.URL+"/v1/health", "", http.StatusOK)
+	if h["degraded"].(bool) || !h["certified"].(bool) {
+		t.Fatalf("pool did not heal after restart: %v", h)
+	}
+}
+
+// TestServerRejectsBadInput pins the 400 paths: malformed JSON, unknown
+// fields, out-of-range edges, unknown ops.
+func TestServerRejectsBadInput(t *testing.T) {
+	pool, ts := testServer(t)
+	m := pool.Graph().M()
+	for _, body := range []string{
+		`{`,
+		`{"updates":[{"edge":0,"op":"insert"}],"extra":1}`,
+		fmt.Sprintf(`{"updates":[{"edge":%d,"op":"insert"}]}`, m),
+		`{"updates":[{"edge":-1,"op":"delete"}]}`,
+		`{"updates":[{"edge":0,"op":"upsert"}]}`,
+	} {
+		out := doJSON(t, "POST", ts.URL+"/v1/apply", body, http.StatusBadRequest)
+		if out["error"] == "" {
+			t.Fatalf("no error message for %q", body)
+		}
+	}
+	// Bad input never mutates: the pool still serves step 0.
+	q := doJSON(t, "GET", ts.URL+"/v1/matching", "", http.StatusOK)
+	if q["step"].(float64) != 0 {
+		t.Fatalf("rejected applies advanced the pool: %v", q)
+	}
+}

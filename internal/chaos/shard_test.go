@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"distmatch/internal/dist"
+)
+
+const shardChaosSchedules = 40
+
+// TestShardChaosSchedules is the shard-level acceptance sweep: across
+// the seeded table no slot ever serves an invalid or wrongly-flagged
+// composed matching, killing shards mid-batch never empties the global
+// answer while healthy shards hold matches, and every schedule
+// re-converges to every-shard-Healthy with a certified (1−1/K) composed
+// matching. The aggregate counters guard against the table rotting into
+// a no-op: the schedules really did kill shards, rebuild them, arm
+// shard faults and degrade serving.
+func TestShardChaosSchedules(t *testing.T) {
+	seeds, replay := chaosSeeds(t, shardChaosSchedules)
+	var kills, restarts, armed, degraded, down, stale int
+	for _, seed := range seeds {
+		res, err := RunShards(ShardConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d (replay: DISTMATCH_FUZZ_SEED=%d go test -run TestShardChaos ./internal/chaos/): %v",
+				seed, seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: nil error but not converged: %+v", seed, res)
+		}
+		kills += res.Totals.Kills
+		restarts += res.Totals.Restarts
+		armed += res.Armed
+		degraded += res.DegradedSlots
+		down += res.DownSlots
+		stale += res.StaleSlots
+	}
+	if replay {
+		return
+	}
+	if kills == 0 || restarts == 0 || armed == 0 || degraded == 0 || down == 0 {
+		t.Fatalf("shard chaos table exercised nothing: kills=%d restarts=%d armed=%d degraded=%d down=%d stale=%d",
+			kills, restarts, armed, degraded, down, stale)
+	}
+	t.Logf("shard chaos table: %d schedules, %d kills, %d restarts, %d arms, %d degraded slots, %d down, %d stale",
+		len(seeds), kills, restarts, armed, degraded, down, stale)
+}
+
+// TestShardChaosReplaysIdentically pins that a shard schedule is a pure
+// function of its seed — the bit-identical kill/restart replay the
+// acceptance criteria demand.
+func TestShardChaosReplaysIdentically(t *testing.T) {
+	for _, seed := range []uint64{2, 19} {
+		a, errA := RunShards(ShardConfig{Seed: seed})
+		b, errB := RunShards(ShardConfig{Seed: seed})
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: %v / %v", seed, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: replay diverges\nfirst  %+v\nsecond %+v", seed, a, b)
+		}
+	}
+}
+
+// TestShardChaosBackendsBitIdentical replays shard schedules on both
+// engine backends and on extra workers: the full ShardResult —
+// slot-by-slot history included — must be bit-identical.
+func TestShardChaosBackendsBitIdentical(t *testing.T) {
+	seeds, _ := chaosSeeds(t, 8)
+	for _, seed := range seeds {
+		base, err := RunShards(ShardConfig{Seed: seed, Backend: dist.BackendCoroutine})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for name, cfg := range map[string]ShardConfig{
+			"flat":    {Seed: seed, Backend: dist.BackendFlat},
+			"workers": {Seed: seed, Backend: dist.BackendCoroutine, Workers: 4},
+		} {
+			got, err := RunShards(cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("seed %d: %s diverges from coroutine baseline\nbase %+v\ngot  %+v",
+					seed, name, base, got)
+			}
+		}
+	}
+}

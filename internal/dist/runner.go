@@ -95,15 +95,17 @@ func (r *Runner) SetMaxRounds(n int) {
 	r.check().cfg.MaxRounds = n
 }
 
-// Close releases the Runner's dispatch goroutines. Further runs panic.
+// Close releases the Runner's dispatch goroutines and recycles its slab
+// bundle through the process-wide pool (see slabs.go), so a
+// spawn-use-close Runner cycle — a shard supervisor cold-rebuilding a
+// crashed shard, say — costs pool traffic, not fresh O(n+m) allocation.
+// Further runs panic.
 func (r *Runner) Close() {
 	if r.closed {
 		return
 	}
 	r.closed = true
-	for _, ch := range r.e.dispatch {
-		close(ch)
-	}
+	r.e.close()
 	r.e.dispatch = nil
 }
 

@@ -242,3 +242,21 @@ func TestRunnerEdgeCases(t *testing.T) {
 	}()
 	r.Run(1, func(*Node) {})
 }
+
+// TestRunnerCloseRecyclesSlabs pins the cheap spawn-use-close cycle the
+// shard supervisor's cold rebuild relies on: Close must hand the engine's
+// slab bundle back to the process-wide pool (not leave it for the GC),
+// and a run after Close must still panic.
+func TestRunnerCloseRecyclesSlabs(t *testing.T) {
+	r := NewRunner(ring(64), Config{})
+	out := make([]int64, 64)
+	r.Run(7, runnerWorkload(out))
+	if r.e.slabs == nil {
+		t.Fatal("open Runner lost its slab bundle")
+	}
+	r.Close()
+	if r.e.slabs != nil || r.e.nodes != nil || r.e.cur != nil {
+		t.Fatal("Close did not recycle the slab bundle through putSlabs")
+	}
+	r.Close() // still idempotent with the recycling teardown
+}

@@ -90,6 +90,23 @@ func (h Health) String() string {
 	return "health?"
 }
 
+// ValidTransition reports whether a Maintainer observed in state from
+// after one Apply may report state to after the next. The transitions
+// are judged at Apply granularity — the only observation points the API
+// offers — so composite internal moves are legal: a fault inside an
+// otherwise Healthy Apply whose ladder repair succeeds surfaces as
+// Healthy→Recovering, and a fault whose ladder fails as Healthy→Degraded.
+// The single illegal observation is Degraded→Healthy: a ladder success
+// must pass through Recovering, because the repairing Apply suppresses
+// its own audit (the state is served immediately but uncertified), and
+// only a clean audit on a later Apply — forced, since audits run on
+// every Apply while Recovering — restores Healthy. A supervisor that
+// sees Degraded→Healthy is watching a Maintainer that skipped
+// certification, and must treat it as corrupt.
+func ValidTransition(from, to Health) bool {
+	return !(from == Degraded && to == Healthy)
+}
+
 // Update is one edge mutation, addressed by the edge's id in the slab
 // graph the Maintainer was built over.
 type Update struct {

@@ -2,6 +2,8 @@ package dynamic
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"distmatch/internal/check"
 	"distmatch/internal/core"
@@ -17,18 +19,31 @@ import (
 //
 // New leaves the matching empty: either start from an empty arc set
 // (Options.StartEmpty) and grow it with Insert batches, or call
-// Recompute once to match a prepopulated slab. A Maintainer is not safe
-// for concurrent use. Close releases the engine when done.
+// Recompute once to match a prepopulated slab. Close releases the engine
+// when done.
+//
+// Concurrency: mutators (Apply, Recompute, Audit, CrashNode, Restore,
+// Adopt, InjectFaults, Close) serialize on an internal write lock, and
+// the read surface (Matching, Health, Totals, Live, Weight, LiveGraph)
+// takes the corresponding read lock, so any number of serving goroutines
+// may query while another applies updates — the property the sharded
+// serving layer leans on. Matching results are immutable snapshots:
+// once returned, a *graph.Matching is never mutated.
 type Maintainer struct {
 	g    *graph.Graph
 	r    *dist.Runner
 	opts Options
 
+	// mu serializes mutators against each other and against readers.
+	// Mutators hold the write lock for their whole run; readers hold the
+	// read lock while materializing (or fetching) a snapshot.
+	mu sync.RWMutex
+
 	live        []bool  // liveness mirror, indexed by edge id
 	liveDeg     []int32 // per-node live degree
 	matchedEdge []int32 // per-node matched edge id, -1 free
 	repairer    *core.BipartiteRepairer
-	cached      *graph.Matching
+	cached      atomic.Pointer[graph.Matching]
 
 	// The audit restriction, maintained incrementally on liveDeg 0↔1
 	// transitions so audits never scan the slab: liveList holds every
@@ -58,7 +73,7 @@ type Maintainer struct {
 	health        Health
 	justRecovered bool
 	lastGood      []int32
-	cachedGood    *graph.Matching
+	cachedGood    atomic.Pointer[graph.Matching]
 	auditIn       int
 	curAudit      int
 
@@ -122,40 +137,72 @@ func (mt *Maintainer) Graph() *graph.Graph { return mt.g }
 func (mt *Maintainer) K() int { return mt.opts.K }
 
 // Live reports whether slab edge e is currently active.
-func (mt *Maintainer) Live(e int) bool { return mt.live[e] }
+func (mt *Maintainer) Live(e int) bool {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.live[e]
+}
 
 // Weight returns the current weight of slab edge e.
-func (mt *Maintainer) Weight(e int) float64 { return mt.r.EdgeWeight(e) }
+func (mt *Maintainer) Weight(e int) float64 {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.r.EdgeWeight(e)
+}
 
 // Totals returns the lifetime cost aggregates.
-func (mt *Maintainer) Totals() Totals { return mt.totals }
+func (mt *Maintainer) Totals() Totals {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.totals
+}
 
 // Close releases the underlying engine. Further use panics.
-func (mt *Maintainer) Close() { mt.r.Close() }
+func (mt *Maintainer) Close() {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.r.Close()
+}
 
 // Matching returns the maintained matching (over the slab's node ids;
 // every matched edge is live). While Degraded it serves the last good
 // matching instead — valid on the surviving live subgraph (deletes
 // scrub it), possibly stale — so serving never stops during recovery.
-// The value is cached until the next Apply or Recompute and must be
-// treated as read-only.
+// The returned snapshot is immutable and cached until the next mutation;
+// Matching is safe to call from any number of goroutines concurrently
+// with Apply.
 func (mt *Maintainer) Matching() *graph.Matching {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	// The cache pointers are atomic so concurrent readers may populate
+	// them under the shared read lock; matchedEdge/lastGood themselves
+	// are stable here (mutators hold the write lock). Two readers racing
+	// on a cold cache both collect — the snapshots are equal, and either
+	// store wins harmlessly.
 	if mt.health == Degraded {
-		if mt.cachedGood == nil {
-			mt.cachedGood = graph.CollectMatching(mt.g, mt.lastGood)
+		if m := mt.cachedGood.Load(); m != nil {
+			return m
 		}
-		return mt.cachedGood
+		m := graph.CollectMatching(mt.g, mt.lastGood)
+		mt.cachedGood.Store(m)
+		return m
 	}
-	if mt.cached == nil {
-		mt.cached = graph.CollectMatching(mt.g, mt.matchedEdge)
+	if m := mt.cached.Load(); m != nil {
+		return m
 	}
-	return mt.cached
+	m := graph.CollectMatching(mt.g, mt.matchedEdge)
+	mt.cached.Store(m)
+	return m
 }
 
 // LiveGraph materializes the current live subgraph (with current
 // weights) as a fresh immutable Graph on the slab's node ids — the form
 // the centralized exact references take for spot audits.
-func (mt *Maintainer) LiveGraph() *graph.Graph { return mt.r.LiveSubgraph() }
+func (mt *Maintainer) LiveGraph() *graph.Graph {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.r.LiveSubgraph()
+}
 
 // Apply applies one batch of updates and repairs the matching. The
 // touched region — endpoints of edges whose liveness changed, grown
@@ -166,6 +213,8 @@ func (mt *Maintainer) LiveGraph() *graph.Graph { return mt.r.LiveSubgraph() }
 // applies) recomputes whenever a short augmenting path survived
 // globally, keeping audited states (1−1/K)-approximate.
 func (mt *Maintainer) Apply(b Batch) ApplyReport {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
 	mt.totals.Applies++
 	var rep ApplyReport
 
@@ -205,7 +254,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 					// leaves it immediately (the matching shrinks; it never
 					// lies).
 					mt.lastGood[x], mt.lastGood[y] = -1, -1
-					mt.cachedGood = nil
+					mt.cachedGood.Store(nil)
 				}
 				mt.markDirty(u.Edge, -1)
 			}
@@ -223,7 +272,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 		// The matching is consistent here (the fault guard checked), so it
 		// becomes the snapshot served if the next attempt is lost.
 		copy(mt.lastGood, mt.matchedEdge)
-		mt.cachedGood = nil
+		mt.cachedGood.Store(nil)
 	}
 	rep.Health = mt.health
 	return rep
@@ -252,7 +301,7 @@ func (mt *Maintainer) maintainOnce(rep *ApplyReport) {
 		for v := range mt.matchedEdge {
 			mt.matchedEdge[v] = -1
 		}
-		mt.cached = nil
+		mt.cached.Store(nil)
 		mt.repair(nil, 0, rep)
 	case len(mt.dirty) == 0:
 		// Nothing structural changed: the matching stands as is.
@@ -264,7 +313,7 @@ func (mt *Maintainer) maintainOnce(rep *ApplyReport) {
 // repairDirtyRegion repairs the region grown from the current dirty
 // seeds, falling back to a warm full pass on overflow.
 func (mt *Maintainer) repairDirtyRegion(rep *ApplyReport) {
-	mt.cached = nil
+	mt.cached.Store(nil)
 	if count := mt.growRegion(); float64(count) > mt.opts.MaxRegionFrac*float64(mt.g.N()) {
 		// Region overflow: one warm full-graph pass beats regional
 		// bookkeeping, and the current matching stays as the seed.
@@ -285,10 +334,12 @@ func (mt *Maintainer) repairDirtyRegion(rep *ApplyReport) {
 // Recompute discards the matching and solves the live subgraph from
 // scratch — the certified reset the audit path falls back to.
 func (mt *Maintainer) Recompute() ApplyReport {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
 	for v := range mt.matchedEdge {
 		mt.matchedEdge[v] = -1
 	}
-	mt.cached = nil
+	mt.cached.Store(nil)
 	var rep ApplyReport
 	mt.repair(nil, 0, &rep)
 	return rep
@@ -299,6 +350,8 @@ func (mt *Maintainer) Recompute() ApplyReport {
 // audits, it runs under the fault guard while a plan is armed, adapts
 // the cadence, and promotes Recovering to Healthy on a clean pass.
 func (mt *Maintainer) Audit() ApplyReport {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
 	var rep ApplyReport
 	mt.runAudit(&rep)
 	rep.Health = mt.health
@@ -307,7 +360,11 @@ func (mt *Maintainer) Audit() ApplyReport {
 
 // Health returns the Maintainer's serving state. Fault-free maintainers
 // are always Healthy.
-func (mt *Maintainer) Health() Health { return mt.health }
+func (mt *Maintainer) Health() Health {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.health
+}
 
 // faultMaxRounds is the engine-run safety bound installed while a fault
 // plan is armed and Options.MaxRounds is 0: injected message loss can
@@ -325,6 +382,8 @@ const faultMaxRounds = 4096
 // Matching() keeps serving the last good matching while Degraded. The
 // plan replays from its first event on every engine run while installed.
 func (mt *Maintainer) InjectFaults(plan *dist.FaultPlan) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
 	mt.r.SetFaultPlan(plan)
 	if plan == nil {
 		mt.armed = false
@@ -345,7 +404,7 @@ func (mt *Maintainer) InjectFaults(plan *dist.FaultPlan) {
 	}
 	if mt.health == Healthy {
 		copy(mt.lastGood, mt.matchedEdge)
-		mt.cachedGood = nil
+		mt.cachedGood.Store(nil)
 	}
 }
 
@@ -357,13 +416,128 @@ func (mt *Maintainer) CrashNode(v int) ApplyReport {
 	if v < 0 || v >= mt.g.N() {
 		panic(fmt.Sprintf("dynamic: CrashNode(%d) outside slab [0,%d)", v, mt.g.N()))
 	}
+	// Collect the implicit batch under the read lock, then route it
+	// through Apply (which takes the write lock itself). A concurrent
+	// Apply slipping between the two is benign: deletes of already-dead
+	// edges are no-ops.
+	mt.mu.RLock()
 	var b Batch
 	for p := 0; p < mt.g.Deg(v); p++ {
 		if e := mt.g.EdgeAt(v, p); mt.live[e] {
 			b = append(b, Update{Edge: e, Op: Delete})
 		}
 	}
+	mt.mu.RUnlock()
 	return mt.Apply(b)
+}
+
+// Restore loads a complete serving state — edge liveness, optional
+// weights, and a matching over the live edges — replacing whatever the
+// Maintainer held. It is the cold-rebuild hook of the sharded serving
+// layer (internal/shard): a supervisor rebuilding a crashed shard
+// replays the pool's authoritative liveness mirror and adopts the last
+// snapshot in O(slab), with no engine runs. live must have one entry per
+// slab edge and matched one per node; weights may be nil (keep current).
+// The Maintainer comes back Recovering: it serves the restored matching
+// immediately, but the state is uncertified until the next audit passes
+// (forced on the next Apply).
+func (mt *Maintainer) Restore(live []bool, weights []float64, matched []int32) error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if len(live) != mt.g.M() {
+		return fmt.Errorf("dynamic: Restore live length %d != %d edges", len(live), mt.g.M())
+	}
+	if weights != nil && len(weights) != mt.g.M() {
+		return fmt.Errorf("dynamic: Restore weights length %d != %d edges", len(weights), mt.g.M())
+	}
+	if err := validateMatched(mt.g, matched, live); err != nil {
+		return fmt.Errorf("dynamic: Restore: %v", err)
+	}
+	copy(mt.live, live)
+	for e := range live {
+		mt.r.SetEdgeLive(e, live[e])
+		if weights != nil {
+			mt.r.SetEdgeWeight(e, weights[e])
+		}
+	}
+	// Rebuild the audit restriction from scratch — O(slab), which a cold
+	// rebuild already is.
+	mt.liveList = mt.liveList[:0]
+	for v := range mt.liveDeg {
+		mt.liveDeg[v], mt.livePos[v] = 0, -1
+	}
+	for e, ok := range live {
+		if ok {
+			x, y := mt.g.Endpoints(e)
+			mt.bumpLiveDeg(x, 1)
+			mt.bumpLiveDeg(y, 1)
+		}
+	}
+	mt.adoptLocked(matched)
+	return nil
+}
+
+// Adopt replaces the maintained matching with matched (a per-node edge
+// assignment over the current live subgraph) without running any engine
+// repair — the push-back hook of the sharded layer's global
+// conflict-resolution pass: after the pool repairs the composed matching
+// across shard boundaries, each shard adopts its restriction and
+// continues incrementally from it. The Maintainer ends Recovering: the
+// adopted matching is served at once but stays uncertified until its
+// next audit passes (forced on the next Apply).
+func (mt *Maintainer) Adopt(matched []int32) error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if err := validateMatched(mt.g, matched, mt.live); err != nil {
+		return fmt.Errorf("dynamic: Adopt: %v", err)
+	}
+	mt.adoptLocked(matched)
+	return nil
+}
+
+// adoptLocked installs a validated matching and resets the recovery
+// state to Recovering-until-audited. Callers hold mt.mu.
+func (mt *Maintainer) adoptLocked(matched []int32) {
+	copy(mt.matchedEdge, matched)
+	mt.cached.Store(nil)
+	if mt.lastGood == nil {
+		mt.lastGood = make([]int32, mt.g.N())
+	}
+	copy(mt.lastGood, mt.matchedEdge)
+	mt.cachedGood.Store(nil)
+	mt.dirty = mt.dirty[:0]
+	mt.justRecovered = false
+	if mt.g.N() > 0 {
+		mt.health = Recovering
+	}
+}
+
+// validateMatched checks that matched is a consistent matching over the
+// given liveness: every entry in range, live, incident to its node and
+// claimed by both endpoints.
+func validateMatched(g *graph.Graph, matched []int32, live []bool) error {
+	if len(matched) != g.N() {
+		return fmt.Errorf("matched length %d != %d nodes", len(matched), g.N())
+	}
+	for v, e := range matched {
+		if e < 0 {
+			continue
+		}
+		if int(e) >= g.M() {
+			return fmt.Errorf("node %d claims edge %d outside slab [0,%d)", v, e, g.M())
+		}
+		if !live[e] {
+			return fmt.Errorf("node %d claims dead edge %d", v, e)
+		}
+		x, y := g.Endpoints(int(e))
+		if x != v && y != v {
+			return fmt.Errorf("node %d claims non-incident edge %d", v, e)
+		}
+		if matched[x] != e || matched[y] != e {
+			return fmt.Errorf("edge %d not claimed by both endpoints %d,%d", e, x, y)
+		}
+	}
+	return nil
 }
 
 // markDirty records both endpoints of a liveness-changed edge and keeps
@@ -449,7 +623,7 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 		mt.r.ClearActive()
 	}
 	st := mt.repairer.Repair(mt.nextSeed(), region)
-	mt.cached = nil
+	mt.cached.Store(nil)
 	nodes := mt.g.N()
 	if region != nil {
 		nodes = regionNodes
@@ -489,7 +663,7 @@ func (mt *Maintainer) attempt(rep *ApplyReport, step func()) bool {
 	rep.Faults++
 	mt.totals.Faults++
 	mt.health = Degraded
-	mt.cached = nil
+	mt.cached.Store(nil)
 	mt.scrub()
 	return false
 }
@@ -552,7 +726,7 @@ func (mt *Maintainer) ladder(rep *ApplyReport) {
 			for v := range mt.matchedEdge {
 				mt.matchedEdge[v] = -1
 			}
-			mt.cached = nil
+			mt.cached.Store(nil)
 			mt.repair(nil, 0, rep)
 		},
 	}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"distmatch/internal/check"
+	"distmatch/internal/dist"
+)
+
+// recompose rebuilds the composed matching from what each up shard is
+// currently serving, then resolves the crossing edges. Shard matchings
+// are authoritative on their internal edges — a Degraded shard
+// contributes the last-good snapshot it serves, a down shard's nodes
+// stay frozen at their previous entries — and crossing matches are
+// pool-owned: one survives only while its edge is live and both
+// endpoints remain free, and a deterministic greedy pass (ascending
+// edge id) matches whatever free-free live crossing edges remain. The
+// greedy pass is exactly the length-1 half of the Berge hierarchy, so
+// after a certified conflict repair it is provably a no-op; between
+// audits it is the cheap always-on resolution that keeps the composed
+// answer valid and never silently empty.
+func (p *Pool) recompose(rep *Report) {
+	for _, slot := range p.shards {
+		if !slot.up {
+			continue
+		}
+		m := slot.mt.Matching() // what the shard serves: own or last-good
+		for lv, gv := range slot.nodes {
+			if ge := p.gmatch[gv]; ge >= 0 && p.edgeShard[ge] == int32(slot.id) {
+				p.gmatch[gv] = -1
+			}
+			if le := m.MatchedEdge(lv); le >= 0 {
+				p.gmatch[gv] = slot.edges[le]
+			}
+		}
+	}
+	crossingMatched := 0
+	for _, ce := range p.crossing {
+		x, y := p.g.Endpoints(int(ce))
+		claimed := p.gmatch[x] == ce || p.gmatch[y] == ce
+		if claimed && (!p.live[ce] || p.gmatch[x] != ce || p.gmatch[y] != ce) {
+			// The edge died or a shard matched an endpoint internally:
+			// the crossing match dissolves (shard matchings win).
+			if p.gmatch[x] == ce {
+				p.gmatch[x] = -1
+			}
+			if p.gmatch[y] == ce {
+				p.gmatch[y] = -1
+			}
+			claimed = false
+		}
+		if !claimed && p.live[ce] && p.gmatch[x] < 0 && p.gmatch[y] < 0 {
+			p.gmatch[x], p.gmatch[y] = ce, ce
+			p.totals.CrossingMatched++
+		}
+		if p.gmatch[x] == ce {
+			crossingMatched++
+		}
+	}
+	if rep != nil {
+		rep.CrossingMatched = crossingMatched
+	}
+}
+
+// maybeAudit runs the pool conflict audit when the periodic countdown
+// expires — and, like the Maintainer's forced audit while Recovering,
+// whenever the pool is uncertified with no shard down or Degraded, so
+// the first quiet Apply after a disruption re-certifies. Audits are
+// suppressed while the pool is degraded: repairing against a shard's
+// last-good snapshot would only be reverted by the next recompose, and
+// the certified (1−1/K) claim is an all-shards-serving claim anyway.
+func (p *Pool) maybeAudit(rep *Report) {
+	due := false
+	if p.opts.AuditEvery > 0 {
+		p.auditIn--
+		if p.auditIn <= 0 {
+			due = true
+			p.auditIn = p.opts.AuditEvery
+		}
+	}
+	if p.degradedLocked() {
+		return
+	}
+	if !p.certified {
+		due = true
+	}
+	if due {
+		p.runAudit(rep)
+	}
+}
+
+// Audit forces a conflict audit now (the report carries the outcome).
+// Like the periodic audit it requires an undegraded pool — no shard
+// down or Degraded; otherwise it reports unaudited.
+func (p *Pool) Audit() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("shard: Audit on a closed Pool")
+	}
+	var rep Report
+	rep.Step = p.step
+	if !p.degradedLocked() {
+		p.runAudit(&rep)
+		p.cached.Store(nil)
+	}
+	rep.Healths, rep.Down = p.healthsLocked()
+	rep.Degraded = p.degradedLocked()
+	return rep
+}
+
+// runAudit Berge-probes the composed matching over the full live graph.
+// A failed certificate means short augmenting paths cross shard
+// boundaries — per-shard maintenance can never see them — and triggers
+// the bounded conflict-resolution pass: one warm full repair of the
+// composed matching (the pool's entire cross-shard communication cost,
+// the k-party phase-two budget), a re-probe, and a push-back of every
+// changed shard restriction via Maintainer.Adopt, which re-enters those
+// shards into their own Recovering-until-audited ladder.
+func (p *Pool) runAudit(rep *Report) {
+	probe := 2*p.opts.K - 1
+	rep.Audited = true
+	p.totals.Audits++
+	r, st := p.probe(probe)
+	p.addCost(st)
+	if !r.Valid {
+		panic("shard: pool audit found an inconsistent composed matching (pool invariant broken)")
+	}
+	if r.ShortestAug == -1 {
+		rep.CertificateOK = true
+		p.certified = true
+		return
+	}
+	p.totals.AuditFailures++
+	p.totals.Repairs++
+	before := p.shardRestrictions()
+	st = p.repairer.Repair(p.nextSeed(), nil)
+	p.addCost(st)
+	r, st = p.probe(probe)
+	p.totals.Audits++
+	p.addCost(st)
+	if !r.Valid {
+		panic("shard: post-repair audit found an inconsistent composed matching")
+	}
+	rep.CertificateOK = r.ShortestAug == -1
+	p.certified = rep.CertificateOK
+	p.adoptBack(before)
+}
+
+// probe runs the full-sweep Berge probe through the resolver runner.
+func (p *Pool) probe(probeLen int) (check.Report, *dist.Stats) {
+	p.resolver.ClearActive()
+	return check.MatchingOnRunner(p.resolver, p.gmatch, probeLen, p.nextSeed())
+}
+
+// shardRestrictions snapshots each up shard's internal restriction of
+// the composed matching (local matched-edge form), so adoptBack can
+// push back only what the repair actually changed.
+func (p *Pool) shardRestrictions() [][]int32 {
+	out := make([][]int32, len(p.shards))
+	for s, slot := range p.shards {
+		if !slot.up {
+			continue
+		}
+		out[s] = p.restrictionOf(slot)
+	}
+	return out
+}
+
+func (p *Pool) restrictionOf(slot *shardSlot) []int32 {
+	matched := make([]int32, slot.sub.N())
+	for lv, gv := range slot.nodes {
+		matched[lv] = -1
+		if ge := p.gmatch[gv]; ge >= 0 && p.edgeShard[ge] == int32(slot.id) {
+			matched[lv] = p.localEdge[ge]
+		}
+	}
+	return matched
+}
+
+// adoptBack pushes the post-repair restriction into every up shard the
+// repair changed. A restriction of a valid composed matching is always
+// a consistent local matching on the shard's live sub-slab, so Adopt
+// cannot fail; the shard serves it immediately and re-certifies through
+// its own forced audit on the next Apply.
+func (p *Pool) adoptBack(before [][]int32) {
+	for s, slot := range p.shards {
+		if !slot.up || before[s] == nil {
+			continue
+		}
+		after := p.restrictionOf(slot)
+		if int32sEqual(before[s], after) {
+			continue
+		}
+		if err := slot.mt.Adopt(after); err != nil {
+			panic("shard: push-back of a repaired restriction failed: " + err.Error())
+		}
+		slot.health = slot.mt.Health()
+		p.totals.Adopts++
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pool) addCost(st *dist.Stats) {
+	p.totals.Rounds += int64(st.Rounds)
+	p.totals.Messages += st.Messages
+	p.totals.NodeRounds += st.NodeRounds
+}

@@ -1,0 +1,656 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"distmatch/internal/core"
+	"distmatch/internal/dist"
+	"distmatch/internal/dynamic"
+	"distmatch/internal/graph"
+	"distmatch/internal/rng"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Shards is the number of partitions S. Default 4.
+	Shards int
+	// K is the approximation target: certified composed matchings are
+	// (1−1/K)-approximate on the live subgraph. Default 3.
+	K int
+	// Seed roots all randomness — shard maintainer seeds (re-forked per
+	// restart), resolver runs, audits. Identical seeds, update sequences
+	// and kill schedules replay bit-identically. Default 1.
+	Seed uint64
+	// AuditEvery runs the pool's conflict audit (Berge probe over the
+	// composed matching) every that many Applies while every shard is
+	// Healthy; an audit is also forced on the Apply where the pool
+	// returns to all-Healthy uncertified, and on demand via Audit.
+	// 0 means the default 8; negative disables periodic audits.
+	AuditEvery int
+	// ShardAuditEvery is passed to each Maintainer as its own audit
+	// cadence (0 = the dynamic default).
+	ShardAuditEvery int
+	// RestartBackoff is the base auto-restart delay of a killed or
+	// crashed shard, counted in Apply slots; consecutive kills before
+	// the shard re-certifies double it up to MaxBackoff. Defaults 1
+	// and 8.
+	RestartBackoff int
+	MaxBackoff     int
+	// MaxRetries bounds each shard Maintainer's recovery-ladder level
+	// retries (0 = the dynamic default).
+	MaxRetries int
+	// StartEmpty begins with every edge of the slab dead.
+	StartEmpty bool
+	// Workers and Backend configure every underlying engine.
+	Workers int
+	Backend dist.Backend
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards < 1 {
+		o.Shards = 4
+	}
+	if o.K < 1 {
+		o.K = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.AuditEvery == 0 {
+		o.AuditEvery = 8
+	}
+	if o.RestartBackoff < 1 {
+		o.RestartBackoff = 1
+	}
+	if o.MaxBackoff < o.RestartBackoff {
+		o.MaxBackoff = 8
+	}
+	return o
+}
+
+// Report describes what one Pool.Apply did.
+type Report struct {
+	// Step is this Apply's slot (0-based).
+	Step int
+	// Routed, Crossing and Deferred count the batch's updates by fate:
+	// routed to an up shard's local batch, touching a pool-owned
+	// crossing edge, or owned by a down shard (mirror-only until its
+	// rebuild replays them).
+	Routed, Crossing, Deferred int
+	// Killed, Restarted and Crashed list the shards the supervisor acted
+	// on this slot: scheduled kills, completed rebuilds, and shards lost
+	// to a panic or an illegal health transition during this Apply.
+	Killed, Restarted, Crashed []int
+	// Healths and Down are the per-shard post-Apply states; a down
+	// shard's health is its last observed value.
+	Healths []dynamic.Health
+	Down    []bool
+	// Audited and CertificateOK report the pool conflict audit, and
+	// CrossingMatched the crossing edges in the composed matching after
+	// resolution.
+	Audited         bool
+	CertificateOK   bool
+	CrossingMatched int
+	// Degraded means responses may be partial or stale: some shard is
+	// down (its nodes frozen) or Degraded (serving its last-good
+	// snapshot). Recovering shards serve current answers and do not
+	// degrade the pool.
+	Degraded bool
+}
+
+// Response is one matching query against the pool.
+type Response struct {
+	// Matching is the composed global matching — always a valid matching
+	// on the live subgraph, whatever the shards are going through.
+	Matching *graph.Matching
+	// Degraded means the answer may be partial or stale: some shard is
+	// down (its nodes' matches are frozen) or Degraded. Down lists the
+	// down shards, Stale the shards serving last-good snapshots.
+	Degraded bool
+	Down     []int
+	Stale    []int
+	// Certified reports that the composed matching passed the pool's
+	// conflict audit after its last structural change — the certified
+	// (1−1/K) state chaos schedules must re-converge to.
+	Certified bool
+	// Step is the number of Applies the response reflects.
+	Step int
+}
+
+// ShardStatus is one shard's supervisor view.
+type ShardStatus struct {
+	Health        dynamic.Health
+	Up            bool
+	Restarts      int  // completed rebuilds
+	Backoff       int  // next kill's restart delay, in Apply slots
+	WakeAt        int  // slot of the pending auto-restart (down shards)
+	Nodes         int  // owned nodes
+	InternalEdges int  // owned (internal) slab edges
+}
+
+// Stats aggregates a Pool's lifetime costs.
+type Stats struct {
+	Applies         int
+	Routed          int64 // updates routed to shard batches
+	Crossing        int64 // updates touching crossing edges
+	Deferred        int64 // updates for down shards (mirror-only)
+	Kills           int   // scheduled kills (KillPlan or KillShard)
+	Crashes         int   // shards lost to panics or illegal transitions
+	Restarts        int   // completed rebuilds
+	Audits          int   // pool conflict audits
+	AuditFailures   int   // audits that found a short augmenting path
+	Repairs         int   // conflict-resolution repairs
+	Adopts          int   // shard push-backs after a repair
+	CrossingMatched int64 // crossing matches added by greedy resolution
+	Rounds          int64 // resolver engine rounds
+	Messages        int64
+	NodeRounds      int64
+}
+
+// shardSlot is one shard's supervisor state. All fields are guarded by
+// the Pool's write lock.
+type shardSlot struct {
+	id    int
+	nodes []int32 // owned nodes, ascending global id; local id = index
+	edges []int32 // internal edges, ascending global id; local id = index
+	sub   *graph.Graph
+
+	mt     *dynamic.Maintainer // nil while down
+	up     bool
+	health dynamic.Health // last observed (frozen while down)
+
+	restarts  int
+	backoff   int // next restart delay; doubles per kill, resets on a full Healthy slot
+	wakeAt    int // auto-restart slot while down
+	rebuiltAt int // step of the last rebuild (-1 = never)
+
+	batch dynamic.Batch // per-Apply routing buffer, reused
+}
+
+// Pool is the sharded serving layer: S independent Maintainers behind
+// one Apply/Query surface, supervised for failover. Mutators (Apply,
+// KillShard, RestartShard, InjectShardFaults, Audit, Close) serialize on
+// a write lock; the read surface (Matching, Query, Status, Totals,
+// Shards, Owner, EdgeShard, Live) takes the corresponding read lock, so
+// queries stay safe — and merely briefly blocked, never broken — while
+// an Apply or a rebuild runs.
+type Pool struct {
+	g    *graph.Graph
+	opts Options
+
+	owner     []int32 // owning shard per node
+	localNode []int32 // local id within the owning shard
+	edgeShard []int32 // owning shard per edge; -1 = crossing
+	localEdge []int32 // local edge id (internal edges; -1 for crossing)
+	crossing  []int32 // crossing edge ids, ascending
+
+	shards []*shardSlot
+
+	// The pool's authoritative mirror: global liveness, weights (held by
+	// the resolver runner, which also runs audits and the conflict
+	// repair) and the composed matching.
+	live     []bool
+	resolver *dist.Runner
+	repairer *core.BipartiteRepairer
+	gmatch   []int32
+
+	step      int
+	auditIn   int
+	certified bool
+
+	killPlan *KillPlan
+	killIdx  int
+	killBase int // step at which the plan was installed
+
+	seedBase uint64
+	runCtr   uint64
+	totals   Stats
+
+	mu     sync.RWMutex
+	cached atomic.Pointer[graph.Matching]
+	closed bool
+}
+
+// New builds a Pool over the bipartite slab g. Like the Maintainer, the
+// slab fixes the node set and the universe of possible edges; liveness
+// is the serving state. The partition, the sub-slabs and every local id
+// mapping are fixed for the Pool's lifetime — only Maintainers die and
+// get rebuilt.
+func New(g *graph.Graph, opts Options) *Pool {
+	if !g.IsBipartite() {
+		panic("shard: Pool requires a bipartite slab")
+	}
+	opts = opts.withDefaults()
+	p := &Pool{
+		g:         g,
+		opts:      opts,
+		owner:     make([]int32, g.N()),
+		localNode: make([]int32, g.N()),
+		edgeShard: make([]int32, g.M()),
+		localEdge: make([]int32, g.M()),
+		live:      make([]bool, g.M()),
+		gmatch:    make([]int32, g.N()),
+		resolver:  dist.NewRunner(g, dist.Config{Workers: opts.Workers, Backend: opts.Backend}),
+		seedBase:  rng.ForkSeed(opts.Seed, 0x9e3779b97f4a7c15),
+	}
+	for v := range p.gmatch {
+		p.gmatch[v] = -1
+	}
+	p.partition()
+	p.repairer = core.NewBipartiteRepairer(p.resolver, p.gmatch, core.RepairOptions{
+		K:       opts.K,
+		Oracle:  true,
+		Backend: opts.Backend,
+	})
+	if opts.AuditEvery > 0 {
+		p.auditIn = opts.AuditEvery
+	}
+	if opts.StartEmpty {
+		p.resolver.SetAllEdgesLive(false)
+	} else {
+		for e := range p.live {
+			p.live[e] = true
+		}
+	}
+	for _, slot := range p.shards {
+		p.spawn(slot, opts.StartEmpty)
+		if !opts.StartEmpty && slot.sub.M() > 0 {
+			slot.mt.Recompute()
+			slot.health = slot.mt.Health()
+		}
+	}
+	if !opts.StartEmpty {
+		p.recompose(nil)
+	}
+	return p
+}
+
+// partition splits each bipartition side into Shards contiguous blocks
+// of nearly equal size and materializes the per-shard sub-slabs. Local
+// node ids preserve ascending global order, so (Builder normalization
+// being monotone) a shard's internal edges keep their relative global
+// edge order as local edge ids — pinned by TestPoolLocalEdgeMapping.
+func (p *Pool) partition() {
+	S := p.opts.Shards
+	var sides [2][]int32
+	for v := 0; v < p.g.N(); v++ {
+		s := p.g.Side(v)
+		if s < 0 {
+			s = 0 // isolated node in an unsided slab: treat as X
+		}
+		sides[s] = append(sides[s], int32(v))
+	}
+	for v := range p.owner {
+		p.owner[v] = -1
+	}
+	for _, side := range sides {
+		for i, v := range side {
+			p.owner[v] = int32(i * S / len(side))
+		}
+	}
+	p.shards = make([]*shardSlot, S)
+	for s := 0; s < S; s++ {
+		p.shards[s] = &shardSlot{id: s, backoff: p.opts.RestartBackoff, rebuiltAt: -1}
+	}
+	for v := 0; v < p.g.N(); v++ {
+		slot := p.shards[p.owner[v]]
+		p.localNode[v] = int32(len(slot.nodes))
+		slot.nodes = append(slot.nodes, int32(v))
+	}
+	for e := 0; e < p.g.M(); e++ {
+		u, v := p.g.Endpoints(e)
+		if p.owner[u] != p.owner[v] {
+			p.edgeShard[e], p.localEdge[e] = -1, -1
+			p.crossing = append(p.crossing, int32(e))
+			continue
+		}
+		slot := p.shards[p.owner[u]]
+		p.edgeShard[e] = int32(slot.id)
+		p.localEdge[e] = int32(len(slot.edges))
+		slot.edges = append(slot.edges, int32(e))
+	}
+	for _, slot := range p.shards {
+		b := graph.NewBuilder(len(slot.nodes))
+		for lv, gv := range slot.nodes {
+			side := p.g.Side(int(gv))
+			if side < 0 {
+				side = 0
+			}
+			b.SetSide(lv, int8(side))
+		}
+		for _, ge := range slot.edges {
+			u, v := p.g.Endpoints(int(ge))
+			b.AddWeightedEdge(int(p.localNode[u]), int(p.localNode[v]), p.g.Weight(int(ge)))
+		}
+		slot.sub = b.MustBuild()
+	}
+}
+
+// spawn builds a fresh Maintainer for the slot with a seed forked from
+// the pool seed, the shard id and the rebuild count, so restarts are
+// deterministic yet never replay the dead incarnation's streams.
+// Rebuilds always start empty (the caller replays the mirror through
+// Restore); only the initial full start begins with the sub-slab live.
+func (p *Pool) spawn(slot *shardSlot, startEmpty bool) {
+	seed := rng.ForkSeed(rng.ForkSeed(p.opts.Seed, uint64(slot.id)+1), uint64(slot.restarts))
+	slot.mt = dynamic.New(slot.sub, dynamic.Options{
+		K:          p.opts.K,
+		Seed:       seed,
+		AuditEvery: p.opts.ShardAuditEvery,
+		MaxRetries: p.opts.MaxRetries,
+		StartEmpty: startEmpty,
+		Workers:    p.opts.Workers,
+		Backend:    p.opts.Backend,
+	})
+	slot.up = true
+	slot.health = slot.mt.Health()
+}
+
+// Apply routes one batch of global-slab edge updates through the pool:
+// supervisor events (scheduled kills, due restarts) first, then routing,
+// parallel shard applies, health supervision, recomposition and — when
+// due — the conflict audit. Apply is atomic per shard: each shard sees
+// its restriction of the batch, in batch order, as one local Apply.
+func (p *Pool) Apply(b dynamic.Batch) Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("shard: Apply on a closed Pool")
+	}
+	step := p.step
+	p.step++
+	p.totals.Applies++
+	rep := Report{Step: step}
+
+	p.supervise(step, &rep)
+	p.route(b, &rep)
+	crashed := p.applyShards(&rep)
+	p.observeHealth(crashed, step, &rep)
+	p.recompose(&rep)
+	p.maybeAudit(&rep)
+
+	rep.Healths, rep.Down = p.healthsLocked()
+	rep.Degraded = p.degradedLocked()
+	p.cached.Store(nil)
+	return rep
+}
+
+// route validates the batch, applies every update to the pool's
+// authoritative mirror (liveness, resolver weights, composed-matching
+// scrub on deletes) and appends the shard-owned updates to their up
+// shard's local batch, in order.
+func (p *Pool) route(b dynamic.Batch, rep *Report) {
+	for _, u := range b {
+		if u.Edge < 0 || u.Edge >= p.g.M() {
+			panic(fmt.Sprintf("shard: update on edge %d outside slab [0,%d)", u.Edge, p.g.M()))
+		}
+		if u.Op > dynamic.SetWeight {
+			panic(fmt.Sprintf("shard: unknown op %d", u.Op))
+		}
+	}
+	for _, slot := range p.shards {
+		slot.batch = slot.batch[:0]
+	}
+	for _, u := range b {
+		e := u.Edge
+		switch u.Op {
+		case dynamic.Insert:
+			if u.Weight != 0 {
+				p.resolver.SetEdgeWeight(e, u.Weight)
+			}
+			if !p.live[e] {
+				p.live[e] = true
+				p.resolver.SetEdgeLive(e, true)
+				p.certified = false
+			}
+		case dynamic.Delete:
+			if p.live[e] {
+				p.live[e] = false
+				p.resolver.SetEdgeLive(e, false)
+				p.certified = false
+				x, y := p.g.Endpoints(e)
+				if p.gmatch[x] == int32(e) {
+					// The composed matching must stay valid on the
+					// surviving live subgraph even when the owner is down:
+					// a deleted edge leaves it immediately.
+					p.gmatch[x], p.gmatch[y] = -1, -1
+				}
+			}
+		case dynamic.SetWeight:
+			p.resolver.SetEdgeWeight(e, u.Weight)
+		}
+		s := p.edgeShard[e]
+		switch {
+		case s < 0:
+			rep.Crossing++
+			p.totals.Crossing++
+		case p.shards[s].up:
+			p.shards[s].batch = append(p.shards[s].batch,
+				dynamic.Update{Edge: int(p.localEdge[e]), Op: u.Op, Weight: u.Weight})
+			rep.Routed++
+			p.totals.Routed++
+		default:
+			// Owner is down: the mirror above is the only record; the
+			// rebuild replays it through Restore.
+			rep.Deferred++
+			p.totals.Deferred++
+		}
+	}
+}
+
+// applyShards runs every up shard's local batch in parallel — the
+// maintainers share no state, so the phase is embarrassingly parallel
+// and deterministic — and reports which shards were lost to a panic.
+// Every up shard applies even an empty batch: that is what advances its
+// audit cadence and its recovery ladder.
+func (p *Pool) applyShards(rep *Report) []bool {
+	crashed := make([]bool, len(p.shards))
+	var wg sync.WaitGroup
+	for _, slot := range p.shards {
+		if !slot.up {
+			continue
+		}
+		wg.Add(1)
+		go func(slot *shardSlot) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					crashed[slot.id] = true
+				}
+			}()
+			r := slot.mt.Apply(slot.batch)
+			_ = r // health is re-read under supervision below
+		}(slot)
+	}
+	wg.Wait()
+	return crashed
+}
+
+// observeHealth is the supervisor's consumption of each surviving
+// shard's Health: an illegal observable transition (Degraded→Healthy —
+// a shard that skipped certification) marks the shard corrupt, and both
+// corrupt and panicked shards are killed for rebuild.
+func (p *Pool) observeHealth(crashed []bool, step int, rep *Report) {
+	for s, slot := range p.shards {
+		if !slot.up {
+			continue
+		}
+		lost := crashed[s]
+		if !lost {
+			h := slot.mt.Health()
+			if !dynamic.ValidTransition(slot.health, h) {
+				lost = true
+			} else {
+				slot.health = h
+				// The backoff resets only after the shard completes a full
+				// Apply slot Healthy — the restart slot itself does not
+				// count, so a shard that keeps dying right after its
+				// rebuild still walks the capped exponential schedule.
+				if h == dynamic.Healthy && slot.rebuiltAt != step {
+					slot.backoff = p.opts.RestartBackoff
+				}
+			}
+		}
+		if lost {
+			p.totals.Crashes++
+			rep.Crashed = append(rep.Crashed, s)
+			p.downLocked(slot, step)
+		}
+	}
+}
+
+// Matching returns the composed global matching — always valid on the
+// live subgraph. Safe for concurrent callers; see Query for the
+// staleness flags.
+func (p *Pool) Matching() *graph.Matching {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.matchingLocked()
+}
+
+func (p *Pool) matchingLocked() *graph.Matching {
+	if m := p.cached.Load(); m != nil {
+		return m
+	}
+	m := graph.CollectMatching(p.g, p.gmatch)
+	p.cached.Store(m)
+	return m
+}
+
+// Query answers one serving request: the composed matching plus the
+// explicit partiality/staleness flags — the pool degrades, it does not
+// fail.
+func (p *Pool) Query() Response {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	resp := Response{
+		Matching:  p.matchingLocked(),
+		Certified: p.certified,
+		Step:      p.step,
+	}
+	for s, slot := range p.shards {
+		if !slot.up {
+			resp.Down = append(resp.Down, s)
+		} else if slot.health == dynamic.Degraded {
+			resp.Stale = append(resp.Stale, s)
+		}
+	}
+	resp.Degraded = p.degradedLocked()
+	return resp
+}
+
+// Status reports every shard's supervisor state.
+func (p *Pool) Status() []ShardStatus {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]ShardStatus, len(p.shards))
+	for s, slot := range p.shards {
+		out[s] = ShardStatus{
+			Health:        slot.health,
+			Up:            slot.up,
+			Restarts:      slot.restarts,
+			Backoff:       slot.backoff,
+			WakeAt:        slot.wakeAt,
+			Nodes:         len(slot.nodes),
+			InternalEdges: len(slot.edges),
+		}
+	}
+	return out
+}
+
+// Totals returns the pool's lifetime cost counters.
+func (p *Pool) Totals() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.totals
+}
+
+// Shards returns the shard count S.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Owner returns the shard owning node v.
+func (p *Pool) Owner(v int) int { return int(p.owner[v]) }
+
+// EdgeShard returns the shard owning edge e, or -1 for a crossing edge.
+func (p *Pool) EdgeShard(e int) int { return int(p.edgeShard[e]) }
+
+// Live reports edge e's liveness in the pool's authoritative mirror.
+func (p *Pool) Live(e int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.live[e]
+}
+
+// InjectShardFaults arms (or, with nil, disarms) a fault plan on shard
+// s's Maintainer. The plan addresses the shard's local node and edge
+// ids (the sub-slab returned by SubGraph). Errors if the shard is down;
+// a rebuilt shard comes back unarmed.
+func (p *Pool) InjectShardFaults(s int, plan *dist.FaultPlan) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s < 0 || s >= len(p.shards) {
+		return fmt.Errorf("shard: no shard %d", s)
+	}
+	if !p.shards[s].up {
+		return fmt.Errorf("shard: shard %d is down", s)
+	}
+	p.shards[s].mt.InjectFaults(plan)
+	return nil
+}
+
+// SubGraph returns shard s's immutable sub-slab (for building local
+// fault plans and inspecting the partition).
+func (p *Pool) SubGraph(s int) *graph.Graph { return p.shards[s].sub }
+
+// Graph returns the pool's global slab.
+func (p *Pool) Graph() *graph.Graph { return p.g }
+
+// healthsLocked snapshots per-shard health and down flags.
+func (p *Pool) healthsLocked() ([]dynamic.Health, []bool) {
+	hs := make([]dynamic.Health, len(p.shards))
+	down := make([]bool, len(p.shards))
+	for s, slot := range p.shards {
+		hs[s], down[s] = slot.health, !slot.up
+	}
+	return hs, down
+}
+
+// degradedLocked reports whether responses may be partial or stale: a
+// down shard freezes its nodes, a Degraded-health shard serves its
+// last-good snapshot. Recovering does not degrade the pool — a
+// Recovering shard serves its own current matching (after an adopt
+// push-back, one the pool's own certificate just covered); it is merely
+// uncertified at shard level until its next audit.
+func (p *Pool) degradedLocked() bool {
+	for _, slot := range p.shards {
+		if !slot.up || slot.health == dynamic.Degraded {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) nextSeed() uint64 {
+	p.runCtr++
+	return rng.ForkSeed(p.seedBase, p.runCtr)
+}
+
+// Close shuts down every shard Maintainer and the resolver.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, slot := range p.shards {
+		if slot.up {
+			slot.mt.Close()
+			slot.mt = nil
+			slot.up = false
+		}
+	}
+	p.resolver.Close()
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records the backend and batching comparisons into BENCH_pr7.json:
+# Records the backend and batching comparisons into BENCH_pr8.json:
 # node-rounds/s per protocol per backend with the flat/coro speedup —
 # now including the last two coroutine-only algorithms ported to flat
 # form in PR 7 (the Lemma 3.7 strict-CONGEST chunk pipeline and the
@@ -7,9 +7,13 @@
 # (Config.Workers in {1,2,4,8,16}), the new workers × topology grid
 # (4-regular / dense G(n,m) / irregular G(n,p) / star hub at workers
 # {1,2,4,8}), the batch-runner amortization pair, the dynamic-maintainer
-# switch pair and the PR-5 active-set region-repair pair. Extends the
-# BENCH trajectory (BENCH_baseline.json, BENCH_pr2.json, BENCH_pr3.json,
-# BENCH_pr4.json, BENCH_pr5.json).
+# switch pair, the PR-5 active-set region-repair pair — and the PR-8
+# sharded-serving group: one churn slot through the 4-shard
+# fault-tolerant Pool vs the same stream through one unsharded
+# Maintainer (the price of the failure-domain boundary), plus the
+# flagged query path. Extends the BENCH trajectory
+# (BENCH_baseline.json, BENCH_pr2.json, BENCH_pr3.json, BENCH_pr4.json,
+# BENCH_pr5.json, BENCH_pr7.json).
 #
 # The recording host is a single shared vCPU whose throughput swings by
 # ±25% over minutes, so each benchmark runs COUNT times and the maximum
@@ -20,7 +24,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=BENCH_pr7.json
+out=BENCH_pr8.json
 benchtime=${BENCHTIME:-1s}
 count=${COUNT:-3}
 
@@ -34,6 +38,9 @@ raw=$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 	. 2>&1)
 raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 	-bench '^(BenchmarkRunnerShortFresh|BenchmarkRunnerShortReuse|BenchmarkDynamicSwitchIncremental|BenchmarkDynamicSwitchRecompute|BenchmarkDynamicRegionRepairActive|BenchmarkDynamicRegionRepairFullSweep)$' \
+	. 2>&1)
+raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
+	-bench '^(BenchmarkShardServingPoolApply|BenchmarkShardServingSingleApply|BenchmarkShardServingQuery)$' \
 	. 2>&1)
 raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 	-bench '^(BenchmarkEngineRoundWorkers|BenchmarkEngineRoundFlatWorkers)$/^w[0-9]+$' \
@@ -51,7 +58,7 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 	echo '  "benchtime": "'"$benchtime"'",'
 	echo '  "count": '"$count"','
 	echo '  "metric": "node-rounds/s (pairs/scaling/topo), ns/slot (dynamic); best of count runs",'
-	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). BipartiteStrict (Lemma 3.7 B-bit chunk pipelining, B=8) and GenericMCM (LOCAL-model floods) are the PR-7 flat ports: the strict pair is sub-round dense so the backend tax dominates; the generic pair is dominated by per-message map merging, so the backends tie — an honest bound on what backend work can buy. scaling sweeps Config.Workers on both backends; topo_scaling sweeps the flat backend across message patterns (uniform 4-regular, dense gnm16, irregular gnp8, star hub). The host is a single vCPU: one worker is the knee, and every multi-worker point prices the staged-mode delivery pass plus dispatch overhead rather than real parallelism — except the star row, where the hub cost is serial in any schedule. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run; PR 7 closed this gap (2.9x in BENCH_pr5 to ~1x) by recycling engine slabs through a process-wide pool (see internal/dist/slabs.go). dynamic_switch and dynamic_region are the PR-4/PR-5 maintenance pairs, unchanged.",'
+	echo '  "note": "coroutine vs flat execution backend; bit-identical outputs (differential suites in internal/core, internal/lpr, internal/israeliitai, internal/mis). BipartiteStrict (Lemma 3.7 B-bit chunk pipelining, B=8) and GenericMCM (LOCAL-model floods) are the PR-7 flat ports: the strict pair is sub-round dense so the backend tax dominates; the generic pair is dominated by per-message map merging, so the backends tie — an honest bound on what backend work can buy. scaling sweeps Config.Workers on both backends; topo_scaling sweeps the flat backend across message patterns (uniform 4-regular, dense gnm16, irregular gnp8, star hub). The host is a single vCPU: one worker is the knee, and every multi-worker point prices the staged-mode delivery pass plus dispatch overhead rather than real parallelism — except the star row, where the hub cost is serial in any schedule. runner_short compares fresh-engine vs dist.Runner setup amortization on an 8-round 256-node run; PR 7 closed this gap (2.9x in BENCH_pr5 to ~1x) by recycling engine slabs through a process-wide pool (see internal/dist/slabs.go). dynamic_switch and dynamic_region are the PR-4/PR-5 maintenance pairs, unchanged. shard_serving is the PR-8 group: one 4-toggle churn slot on a 512+512 slab through the 4-shard fault-tolerant Pool (routing, 4 parallel shard engines, crossing resolution, periodic conflict audit) vs the identical stream through one unsharded Maintainer; overhead_x = pool/single is the price of the failure-domain boundary, and query_ns prices one flagged read off the pool snapshot cache.",'
 	printf '%s\n' "$raw" | awk '
 		/^Benchmark/ {
 			name=$1; sub(/-[0-9]+$/, "", name)
@@ -99,6 +106,11 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 			rfull=ns["BenchmarkDynamicRegionRepairFullSweep"]+0
 			printf "  \"dynamic_region\": {\"active_ns_per_slot\": %.0f, \"fullsweep_ns_per_slot\": %.0f, \"speedup\": %.2f},\n", \
 				ract, rfull, (ract > 0 ? rfull/ract : 0)
+			spool=ns["BenchmarkShardServingPoolApply"]+0
+			ssingle=ns["BenchmarkShardServingSingleApply"]+0
+			squery=ns["BenchmarkShardServingQuery"]+0
+			printf "  \"shard_serving\": {\"pool_ns_per_slot\": %.0f, \"single_ns_per_slot\": %.0f, \"overhead_x\": %.2f, \"query_ns\": %.0f},\n", \
+				spool, ssingle, (ssingle > 0 ? spool/ssingle : 0), squery
 			printf "  \"scaling\": [\n"
 			nw=split("1 2 4 8 16", ws, " ")
 			for (k=1; k<=nw; k++) {
