@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare profile clean
+.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare telemetry-smoke profile clean
 
 all: tier1
 
@@ -34,11 +34,18 @@ bench-baseline:
 # bench-compare records coroutine-vs-flat backend node-rounds/s per
 # protocol — including the core Algorithm 3-5 pipeline and the PR-7
 # strict-CONGEST/LOCAL ports — plus the Config.Workers scaling sweep,
-# the workers×topology grid, the batch-runner amortization pair and
-# the dynamic-maintainer incremental-vs-recompute switch pair into
-# BENCH_pr7.json (set BENCHTIME=3s and COUNT=5 for stabler numbers).
+# the workers×topology grid, the batch-runner amortization pair, the
+# dynamic-maintainer incremental-vs-recompute switch pair, the sharded
+# serving group and the telemetry-overhead group into BENCH_pr9.json
+# (set BENCHTIME=3s and COUNT=5 for stabler numbers).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# telemetry-smoke boots a real distmatchd (serving + debug listeners),
+# drives applies through a shard kill/restart, and asserts /metrics
+# parses, /v1/events shows the failover, and pprof serves.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 # profile captures pprof CPU + allocation profiles and a runtime trace of
 # a multicore flat-backend run (override PROFILE_ARGS to aim elsewhere);

@@ -35,6 +35,7 @@ import (
 	"distmatch/internal/mis"
 	"distmatch/internal/rng"
 	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
 )
 
 // Re-exported fundamental types.
@@ -418,3 +419,29 @@ func NewPool(g *Graph, opts PoolOptions) *Pool { return shard.New(g, opts) }
 func NewShardKillPlan(events []ShardKillEvent) *ShardKillPlan {
 	return shard.NewKillPlan(events)
 }
+
+// Telemetry is the stack's instrument namespace: atomic counters and
+// gauges, log-bucketed latency histograms, and a fixed-capacity
+// structured event ring. Pass one registry through MaintainerOptions /
+// PoolOptions (field Telemetry) and to SetEngineTelemetry, then scrape
+// it with WritePrometheus or read the event trace via Events(). A nil
+// *Telemetry disables everything at near-zero cost. See DESIGN.md §9.
+type Telemetry = telemetry.Registry
+
+// TelemetryOptions configures NewTelemetry.
+type TelemetryOptions = telemetry.Options
+
+// TelemetryEvent is one structured trace record, stamped with the
+// emitting layer's deterministic slot clock (never wall time): seeded
+// schedules replay with bit-identical traces.
+type TelemetryEvent = telemetry.Event
+
+// NewTelemetry builds a telemetry registry.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// SetEngineTelemetry installs (or with nil removes) the process-wide
+// registry the simulator engine records run/round/message totals and
+// sweep latencies into. Engine metrics are process-global because
+// engines are spawned far from where registries live; everything else
+// (Maintainer, Pool) is instrumented per instance via its Options.
+func SetEngineTelemetry(reg *Telemetry) { dist.SetTelemetry(reg) }

@@ -753,6 +753,79 @@ func BenchmarkShardServingSingleApply(b *testing.B) {
 	}
 }
 
+// ---- Telemetry overhead: instrumented vs bare ----
+//
+// The BENCH_pr9.json telemetry_overhead group: each pair reruns an
+// existing benchmark with a live telemetry registry installed, so
+// overhead_x = instrumented/bare prices the instrumentation on that
+// path. The engine pair bounds the per-sweep cost (one atomic-counter
+// batch plus one histogram observation per run, fanned across 4096
+// nodes × 64 rounds — the <2% acceptance bound); the pool pair prices
+// the per-slot cost on the serving path, where the event ring and the
+// per-shard gauge refresh join in.
+
+// BenchmarkEngineRoundFlatTelemetry is BenchmarkEngineRoundFlat with
+// engine telemetry enabled process-wide.
+func BenchmarkEngineRoundFlatTelemetry(b *testing.B) {
+	SetEngineTelemetry(NewTelemetry(TelemetryOptions{}))
+	defer SetEngineTelemetry(nil)
+	g := gen.DRegular(rng.New(8), 4096, 4)
+	rounds := 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.RunFlat(g, dist.Config{Seed: uint64(i)}, func(*dist.Node) dist.RoundProgram {
+			return &flatBeacon{left: rounds}
+		})
+	}
+	b.ReportMetric(float64(rounds*g.N())*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// BenchmarkShardServingSingleApplyTelemetry is
+// BenchmarkShardServingSingleApply with a registry and event ring on
+// the unsharded Maintainer — the Maintainer-slot overhead pair.
+func BenchmarkShardServingSingleApplyTelemetry(b *testing.B) {
+	g := shardServingSlab()
+	reg := NewTelemetry(TelemetryOptions{EventCapacity: 4096})
+	mt := NewMaintainer(g, MaintainerOptions{
+		K: 2, Seed: 6, AuditEvery: 16,
+		Telemetry: reg, Events: reg.Events(), TelemetryShard: -1,
+	})
+	defer mt.Close()
+	mt.Recompute()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Apply(toggles(r, live))
+	}
+}
+
+// BenchmarkShardServingPoolApplyTelemetry is
+// BenchmarkShardServingPoolApply with a full registry on the pool:
+// histograms, counters, per-shard gauges and the event ring all live.
+func BenchmarkShardServingPoolApplyTelemetry(b *testing.B) {
+	g := shardServingSlab()
+	p := NewPool(g, PoolOptions{
+		Shards: 4, K: 2, Seed: 6, AuditEvery: 16,
+		Telemetry: NewTelemetry(TelemetryOptions{EventCapacity: 4096}),
+	})
+	defer p.Close()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(toggles(r, live))
+	}
+}
+
 // BenchmarkShardServingQuery is one flagged read off the pool's
 // snapshot cache after churn: a fixed warmup dirties and recomposes the
 // pool, then the loop measures the pure read path. (Churn must not ride

@@ -16,11 +16,43 @@
 //	GET  /v1/stats               lifetime pool counters
 //	POST /v1/shards/{id}/kill    take a shard down (auto-restarts after backoff)
 //	POST /v1/shards/{id}/restart force a cold rebuild now
+//	GET  /v1/events              newest structured trace records (?n=, default 64)
+//	GET  /metrics                Prometheus text exposition
+//
+// -debugaddr serves net/http/pprof and a second /metrics on a separate
+// listener; -accesslog=false silences the per-request stderr log.
+//
+// Metric reference (full details and event schema in DESIGN.md §9; all
+// latency histograms are nanoseconds, exposed as summaries with
+// p50/p90/p99, _sum and _count):
+//
+//	engine_runs_total, engine_runs_aborted_total      completed / aborted engine runs
+//	engine_rounds_total, engine_messages_total,
+//	engine_bits_total, engine_node_rounds_total,
+//	engine_oracle_calls_total                         summed run Stats
+//	engine_suppressed_messages_total,
+//	engine_crashed_nodes_total                        fault-injection effects
+//	engine_sweep_ns                                   one engine run, wall time
+//	maintainer_apply_ns, maintainer_repair_ns,
+//	maintainer_audit_ns                               per-shard Maintainer latencies (shared series)
+//	pool_apply_ns                                     one pool Apply slot end to end
+//	pool_updates_routed_total, pool_updates_crossing_total,
+//	pool_updates_deferred_total                       routing split of incoming updates
+//	pool_crossing_matched_total                       greedy crossing matches made
+//	pool_resolver_rounds_total,
+//	pool_resolver_messages_total                      cross-shard communication (audits + repairs)
+//	pool_step, pool_degraded, pool_certified          serving state gauges
+//	shard_up{shard="N"}, shard_health{shard="N"},
+//	shard_backoff_slots{shard="N"},
+//	shard_restarts{shard="N"}                         per-shard supervisor gauges
+//	http_request_ns{route="R"}                        per-route latency (timeouts included)
+//	http_requests_total{route="R",code="C"}           responses by route and status
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -29,6 +61,7 @@ import (
 	"distmatch/internal/gen"
 	"distmatch/internal/rng"
 	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +78,9 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	workers := flag.Int("workers", 0, "engine worker goroutines (0 = one per core)")
 	backend := flag.String("backend", "auto", "engine backend: auto | coro | flat")
+	debugaddr := flag.String("debugaddr", "", "separate listener for pprof + /metrics (empty = off)")
+	accesslog := flag.Bool("accesslog", true, "log every request to stderr")
+	events := flag.Int("events", 4096, "event-ring capacity (structured trace records held)")
 	flag.Parse()
 
 	var be dist.Backend
@@ -60,20 +96,42 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := telemetry.New(telemetry.Options{EventCapacity: *events})
+	dist.SetTelemetry(reg)
+
 	g := gen.BipartiteGnp(rng.New(*seed), *nx, *ny, *prob)
 	pool := shard.New(g, shard.Options{
 		Shards: *shards, K: *k, Seed: *seed,
 		StartEmpty: !*full, AuditEvery: *auditEvery,
 		RestartBackoff: *backoff,
 		Workers:        *workers, Backend: be,
+		Telemetry: reg,
 	})
 	defer pool.Close()
+
+	var logw io.Writer
+	if *accesslog {
+		logw = os.Stderr
+	}
+	if *debugaddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugaddr,
+			Handler:           newDebugHandler(reg),
+			ReadHeaderTimeout: *timeout,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "distmatchd: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("distmatchd: pprof + /metrics on %s\n", *debugaddr)
+	}
 
 	fmt.Printf("distmatchd: slab %v, %d shards, k=%d, seed %d — listening on %s\n",
 		g, *shards, *k, *seed, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(pool, *timeout),
+		Handler:           newHandler(pool, *timeout, reg, logw),
 		ReadHeaderTimeout: *timeout,
 	}
 	if err := srv.ListenAndServe(); err != nil {

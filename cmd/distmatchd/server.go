@@ -3,12 +3,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"distmatch/internal/dynamic"
 	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
 )
 
 // server is the HTTP facade over one shard.Pool. The Pool is already
@@ -17,19 +21,102 @@ import (
 // bounds every request so a slow apply can never wedge a client.
 type server struct {
 	pool *shard.Pool
+	reg  *telemetry.Registry
 }
 
-// newHandler builds the routed, timeout-bounded handler for p.
-func newHandler(p *shard.Pool, timeout time.Duration) http.Handler {
-	s := &server{pool: p}
+// newHandler builds the routed, timeout-bounded handler for p. The
+// instrumentation middleware sits OUTSIDE the TimeoutHandler so a timed-
+// out request is recorded with the 503 the client saw and a latency of
+// the full timeout, not whatever the abandoned handler did. reg may be
+// nil (no metrics); logw may be nil (no access log).
+func newHandler(p *shard.Pool, timeout time.Duration, reg *telemetry.Registry, logw io.Writer) http.Handler {
+	s := &server{pool: p, reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/apply", s.handleApply)
 	mux.HandleFunc("GET /v1/matching", s.handleMatching)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/shards/{id}/kill", s.handleKill)
 	mux.HandleFunc("POST /v1/shards/{id}/restart", s.handleRestart)
-	return http.TimeoutHandler(mux, timeout, `{"error":"request timed out"}`)
+	return instrument(http.TimeoutHandler(mux, timeout, `{"error":"request timed out"}`), reg, logw)
+}
+
+// routeLabel collapses a request path to its route template so per-route
+// metrics stay low-cardinality (shard ids would otherwise mint a series
+// per id, and unknown paths a series per probe).
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	if rest, ok := strings.CutPrefix(p, "/v1/shards/"); ok {
+		if strings.HasSuffix(rest, "/kill") {
+			return "/v1/shards/{id}/kill"
+		}
+		if strings.HasSuffix(rest, "/restart") {
+			return "/v1/shards/{id}/restart"
+		}
+		return "/v1/shards/{id}"
+	}
+	switch p {
+	case "/v1/apply", "/v1/matching", "/v1/health", "/v1/stats", "/v1/events", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// statusWriter captures what actually went to the client.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps next with the access log and the per-route request
+// metrics: http_request_ns{route=...} latency histograms and
+// http_requests_total{route=...,code=...} counters.
+func instrument(next http.Handler, reg *telemetry.Registry, logw io.Writer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		route := routeLabel(r)
+		reg.Histogram(fmt.Sprintf("http_request_ns{route=%q}", route),
+			"request latency by route, ns").ObserveSince(t0)
+		reg.Counter(fmt.Sprintf("http_requests_total{route=%q,code=\"%d\"}", route, sw.code),
+			"requests served by route and status").Add(1)
+		if logw != nil {
+			fmt.Fprintf(logw, "%s %s %s %d %dB %s\n",
+				time.Now().UTC().Format(time.RFC3339), r.Method, r.URL.Path,
+				sw.code, sw.bytes, time.Since(t0).Round(time.Microsecond))
+		}
+	})
+}
+
+// newDebugHandler builds the -debugaddr mux: pprof plus a second
+// /metrics, so profiling and scraping stay possible when the serving
+// port is saturated or behind a stricter ACL.
+func newDebugHandler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, reg)
+	})
+	return mux
 }
 
 // applyRequest is the POST /v1/apply body: one batch of edge updates
@@ -179,8 +266,81 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// statsResponse is the GET /v1/stats body: the lifetime pool counters
+// plus a live per-shard status block, so one scrape answers both "what
+// has this pool done" and "what state is it in right now".
+type statsResponse struct {
+	Totals    shard.Stats   `json:"totals"`
+	Step      int           `json:"step"`
+	Degraded  bool          `json:"degraded"`
+	Certified bool          `json:"certified"`
+	Shards    []shardStatus `json:"shards"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Totals())
+	q := s.pool.Query()
+	resp := statsResponse{
+		Totals: s.pool.Totals(),
+		Step:   q.Step, Degraded: q.Degraded, Certified: q.Certified,
+	}
+	for id, sh := range s.pool.Status() {
+		resp.Shards = append(resp.Shards, shardStatus{
+			ID: id, Health: sh.Health.String(), Up: sh.Up,
+			Restarts: sh.Restarts, Backoff: sh.Backoff, WakeAt: sh.WakeAt,
+			Nodes: sh.Nodes, InternalEdges: sh.InternalEdges,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// eventJSON is one trace record on the wire; Kind goes out as its name
+// and Text as the canonical rendered form the chaos harness compares.
+type eventJSON struct {
+	Seq   uint64 `json:"seq"`
+	Slot  int64  `json:"slot"`
+	Kind  string `json:"kind"`
+	Shard int32  `json:"shard"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Text  string `json:"text"`
+}
+
+// handleEvents serves the newest n trace records (?n=, default 64) in
+// append order, with the ring's total so a poller can tell how much it
+// missed between scrapes.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 64
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = p
+	}
+	ring := s.reg.Events()
+	records := ring.Tail(n)
+	out := make([]eventJSON, len(records))
+	for i, e := range records {
+		out[i] = eventJSON{
+			Seq: e.Seq, Slot: e.Slot, Kind: e.Kind.String(),
+			Shard: e.Shard, A: e.A, B: e.B, Text: e.String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": ring.Total(), "events": out})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeMetrics(w, s.reg)
+}
+
+func writeMetrics(w http.ResponseWriter, reg *telemetry.Registry) {
+	if reg == nil {
+		http.Error(w, "telemetry disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
 }
 
 func (s *server) handleKill(w http.ResponseWriter, r *http.Request) {

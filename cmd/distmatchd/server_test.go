@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,15 +13,24 @@ import (
 	"distmatch/internal/gen"
 	"distmatch/internal/rng"
 	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
 )
 
 func testServer(t *testing.T) (*shard.Pool, *httptest.Server) {
-	t.Helper()
-	g := gen.BipartiteGnp(rng.New(7), 12, 12, 0.3)
-	pool := shard.New(g, shard.Options{Shards: 4, K: 2, Seed: 7, StartEmpty: true, AuditEvery: 4})
-	ts := httptest.NewServer(newHandler(pool, 5*time.Second))
-	t.Cleanup(func() { ts.Close(); pool.Close() })
+	pool, ts, _ := testServerTel(t)
 	return pool, ts
+}
+
+func testServerTel(t *testing.T) (*shard.Pool, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.New(telemetry.Options{EventCapacity: 1024})
+	g := gen.BipartiteGnp(rng.New(7), 12, 12, 0.3)
+	pool := shard.New(g, shard.Options{
+		Shards: 4, K: 2, Seed: 7, StartEmpty: true, AuditEvery: 4, Telemetry: reg,
+	})
+	ts := httptest.NewServer(newHandler(pool, 5*time.Second, reg, io.Discard))
+	t.Cleanup(func() { ts.Close(); pool.Close() })
+	return pool, ts, reg
 }
 
 func doJSON(t *testing.T, method, url, body string, wantCode int) map[string]any {
@@ -85,8 +95,14 @@ func TestServerApplyAndMatching(t *testing.T) {
 		t.Fatalf("health shards: %v", h)
 	}
 	st := doJSON(t, "GET", ts.URL+"/v1/stats", "", http.StatusOK)
-	if st["Routed"].(float64) == 0 {
+	if st["totals"].(map[string]any)["Routed"].(float64) == 0 {
 		t.Fatalf("stats routed nothing: %v", st)
+	}
+	if len(st["shards"].([]any)) != 4 {
+		t.Fatalf("stats missing per-shard status: %v", st)
+	}
+	if !st["certified"].(bool) {
+		t.Fatalf("stats not certified after quiet applies: %v", st)
 	}
 }
 
@@ -125,6 +141,106 @@ func TestServerKillRestartFailover(t *testing.T) {
 	h = doJSON(t, "GET", ts.URL+"/v1/health", "", http.StatusOK)
 	if h["degraded"].(bool) || !h["certified"].(bool) {
 		t.Fatalf("pool did not heal after restart: %v", h)
+	}
+}
+
+// TestServerTelemetryEndpoints drives applies through a kill/restart
+// cycle and checks the observability surface end to end: /metrics is a
+// valid exposition carrying the pool and per-route series, /v1/events
+// shows the failover as structured records, and the route label
+// normalizer keeps shard ids out of the metric namespace.
+func TestServerTelemetryEndpoints(t *testing.T) {
+	pool, ts, reg := testServerTel(t)
+	g := pool.Graph()
+	var ups []string
+	for e := 0; e < g.M(); e++ {
+		ups = append(ups, fmt.Sprintf(`{"edge":%d,"op":"insert"}`, e))
+	}
+	doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[`+strings.Join(ups, ",")+`]}`, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/shards/1/kill", "", http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[]}`, http.StatusOK)
+	doJSON(t, "POST", ts.URL+"/v1/shards/1/restart", "", http.StatusOK)
+	for i := 0; i < 6; i++ {
+		doJSON(t, "POST", ts.URL+"/v1/apply", `{"updates":[]}`, http.StatusOK)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if n, err := telemetry.ValidateExposition(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("/metrics exposition invalid: (%d, %v)\n%s", n, err, text)
+	}
+	for _, series := range []string{
+		"pool_step ", `shard_up{shard="1"}`, "pool_apply_ns_count",
+		`http_request_ns_count{route="/v1/apply"}`,
+		`http_requests_total{route="/v1/shards/{id}/kill",code="200"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("/metrics missing %q:\n%s", series, text)
+		}
+	}
+
+	ev := doJSON(t, "GET", ts.URL+"/v1/events?n=1024", "", http.StatusOK)
+	kinds := map[string]bool{}
+	for _, raw := range ev["events"].([]any) {
+		e := raw.(map[string]any)
+		kinds[e["kind"].(string)] = true
+		if e["text"].(string) == "" {
+			t.Fatalf("event without rendered text: %v", e)
+		}
+	}
+	for _, want := range []string{"shard_kill", "shard_restart", "health"} {
+		if !kinds[want] {
+			t.Fatalf("/v1/events missing %q after failover; kinds: %v", want, kinds)
+		}
+	}
+	if ev["total"].(float64) == 0 {
+		t.Fatal("event ring total is zero")
+	}
+	doJSON(t, "GET", ts.URL+"/v1/events?n=-1", "", http.StatusBadRequest)
+
+	// The timeout wrapper sits inside the instrumentation, so even 404s
+	// land in the "other" route bucket rather than minting series.
+	if resp, err := http.Get(ts.URL + "/no/such/route"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if reg.Counter(`http_requests_total{route="other",code="404"}`, "").Value() != 1 {
+		t.Fatal("unknown route not bucketed under \"other\"")
+	}
+}
+
+// TestDebugHandler pins the -debugaddr mux: pprof index and a second
+// /metrics both serve.
+func TestDebugHandler(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{})
+	reg.Counter("engine_runs_total", "").Add(1)
+	ts := httptest.NewServer(newDebugHandler(reg))
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
 	}
 }
 

@@ -1,0 +1,27 @@
+// Command expositioncheck validates a Prometheus text exposition on
+// stdin with the telemetry package's own parser and reports the sample
+// count — the assertion the telemetry smoke script and CI job run
+// against a live /metrics:
+//
+//	curl -fsS localhost:8080/metrics | go run ./cmd/expositioncheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distmatch/internal/telemetry"
+)
+
+func main() {
+	n, err := telemetry.ValidateExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expositioncheck: %v\n", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "expositioncheck: no sample lines")
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d sample lines\n", n)
+}

@@ -10,6 +10,7 @@ import (
 	"distmatch/internal/graph"
 	"distmatch/internal/rng"
 	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
 )
 
 // ShardConfig parameterizes one shard-level chaos schedule: the pool
@@ -96,6 +97,13 @@ type ShardResult struct {
 	// the composed matching — the thing that must be bit-identical
 	// across replays, backends and worker counts.
 	History []string
+	// Events is the pool's structured telemetry trace (rendered records,
+	// append order). The trace carries the Apply slot clock, never wall
+	// time, so it is part of the DeepEqual-compared result: replays,
+	// backends and worker counts must produce it bit-identically — the
+	// telemetry layer's own determinism contract, verified by the same
+	// harness that verifies the matchings.
+	Events []string
 }
 
 // RunShards drives one shard-level schedule and verifies it slot by
@@ -113,10 +121,17 @@ func RunShards(cfg ShardConfig) (*ShardResult, error) {
 	if g.M() == 0 {
 		return nil, fmt.Errorf("chaos: seed %d produced an edgeless slab", cfg.Seed)
 	}
+	// The harness instruments every run with its own registry: the event
+	// trace rides along in the result and is compared across replays.
+	// dist.SetTelemetry is deliberately NOT installed — engine wall-clock
+	// metrics are process-global, nondeterministic and not part of any
+	// compared trace.
+	reg := telemetry.New(telemetry.Options{EventCapacity: 1 << 14})
 	p := shard.New(g, shard.Options{
 		Shards: cfg.Shards, K: cfg.K, Seed: cfg.Seed + 1,
 		StartEmpty: true, AuditEvery: 4,
 		Workers: cfg.Workers, Backend: cfg.Backend,
+		Telemetry: reg,
 	})
 	defer p.Close()
 
@@ -202,6 +217,7 @@ func RunShards(cfg ShardConfig) (*ShardResult, error) {
 		}
 	}
 	res.Totals = p.Totals()
+	res.Events = reg.Events().Strings()
 	res.FinalSize = p.Matching().Size()
 	res.FinalOpt = exact.MaxCardinality(poolLiveGraph(p, g)).Size()
 	if !res.Converged {

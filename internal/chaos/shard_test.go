@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"distmatch/internal/dist"
@@ -61,6 +62,39 @@ func TestShardChaosReplaysIdentically(t *testing.T) {
 			t.Fatalf("seed %d: replay diverges\nfirst  %+v\nsecond %+v", seed, a, b)
 		}
 	}
+}
+
+// TestShardChaosEventTrace pins that a schedule that kills shards leaves
+// a structured trace behind: the telemetry events carry the deterministic
+// slot clock, so the supervisor's actions must be visible as shard_kill /
+// shard_restart records (bit-identity across replays is covered by the
+// DeepEqual tests above, which now compare the trace too).
+func TestShardChaosEventTrace(t *testing.T) {
+	seeds, _ := chaosSeeds(t, 12)
+	for _, seed := range seeds {
+		res, err := RunShards(ShardConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Totals.Kills == 0 {
+			continue
+		}
+		var kills, restarts bool
+		for _, ev := range res.Events {
+			if strings.Contains(ev, " shard_kill ") {
+				kills = true
+			}
+			if strings.Contains(ev, " shard_restart ") {
+				restarts = true
+			}
+		}
+		if !kills || !restarts {
+			t.Fatalf("seed %d: %d kills but trace lacks records (kill=%v restart=%v):\n%s",
+				seed, res.Totals.Kills, kills, restarts, strings.Join(res.Events, "\n"))
+		}
+		return // one killing schedule is enough
+	}
+	t.Fatal("no schedule in the sample killed a shard; widen the sample")
 }
 
 // TestShardChaosBackendsBitIdentical replays shard schedules on both

@@ -752,6 +752,10 @@ func (w *worker) coroSweep() {
 // coroutine backend (a blocking program needs a suspendable stack); see
 // RunFlat for the stack-switch-free alternative.
 func Run(g *graph.Graph, cfg Config, program func(*Node)) *Stats {
+	tel, tstart := telStart()
+	var st Stats
+	completed := false
+	defer func() { tel.record(tstart, &st, completed) }()
 	e := newEngine(g, cfg)
 	if e.n != 0 {
 		e.launch(program)
@@ -760,7 +764,8 @@ func Run(g *graph.Graph, cfg Config, program func(*Node)) *Stats {
 	}
 	// Return a copy: callers routinely retain the Stats, and a pointer
 	// into the engine would pin its O(n+m) slabs for that lifetime.
-	st := e.stats
+	st = e.stats
+	completed = true
 	return &st
 }
 

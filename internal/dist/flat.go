@@ -53,6 +53,10 @@ type RoundProgram interface {
 // Panics inside Init/OnRound abort the run and re-panic in the caller,
 // like Run.
 func RunFlat(g *graph.Graph, cfg Config, factory func(nd *Node) RoundProgram) *Stats {
+	tel, tstart := telStart()
+	var st Stats
+	completed := false
+	defer func() { tel.record(tstart, &st, completed) }()
 	e := newEngine(g, cfg)
 	if e.n != 0 {
 		e.progs = e.progSlab
@@ -60,7 +64,8 @@ func RunFlat(g *graph.Graph, cfg Config, factory func(nd *Node) RoundProgram) *S
 		defer e.close()
 		e.loop()
 	}
-	st := e.stats
+	st = e.stats
+	completed = true
 	return &st
 }
 

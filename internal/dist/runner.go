@@ -40,6 +40,10 @@ func (r *Runner) Run(seed uint64, program func(*Node)) *Stats {
 	if e.n == 0 {
 		return &Stats{}
 	}
+	tel, tstart := telStart()
+	var st Stats
+	completed := false
+	defer func() { tel.record(tstart, &st, completed) }()
 	e.reset(seed)
 	e.launch(program)
 	defer func() {
@@ -48,7 +52,8 @@ func (r *Runner) Run(seed uint64, program func(*Node)) *Stats {
 		e.coros = nil
 	}()
 	e.loop()
-	st := e.stats
+	st = e.stats
+	completed = true
 	return &st
 }
 
@@ -61,6 +66,10 @@ func (r *Runner) RunFlat(seed uint64, factory func(nd *Node) RoundProgram) *Stat
 	if e.n == 0 {
 		return &Stats{}
 	}
+	tel, tstart := telStart()
+	var st Stats
+	completed := false
+	defer func() { tel.record(tstart, &st, completed) }()
 	e.reset(seed)
 	if e.progSlab == nil {
 		e.progSlab = make([]RoundProgram, e.n)
@@ -69,7 +78,8 @@ func (r *Runner) RunFlat(seed uint64, factory func(nd *Node) RoundProgram) *Stat
 	e.forEachActive(func(nd *Node) { e.progs[nd.id] = factory(nd) })
 	defer e.abortLive()
 	e.loop()
-	st := e.stats
+	st = e.stats
+	completed = true
 	return &st
 }
 

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+
+	"distmatch/internal/telemetry"
+)
+
+// engineTel is the cached handle set for process-wide engine counters.
+// Handles are resolved once in SetTelemetry and published through an
+// atomic pointer, so the per-run recording cost is one load plus a
+// handful of atomic adds — and a single nil check when telemetry is
+// disabled. Granularity is per run, not per round: a flat-engine run is
+// ~milliseconds, so recording at completion keeps the overhead far under
+// the telemetry budget (BenchmarkEngineRoundFlatTelemetry measures it).
+type engineTel struct {
+	runs        *telemetry.Counter
+	aborted     *telemetry.Counter
+	rounds      *telemetry.Counter
+	messages    *telemetry.Counter
+	bits        *telemetry.Counter
+	nodeRounds  *telemetry.Counter
+	oracleCalls *telemetry.Counter
+	suppressed  *telemetry.Counter
+	crashed     *telemetry.Counter
+	sweepNS     *telemetry.Histogram
+}
+
+var engTel atomic.Pointer[engineTel]
+
+// SetTelemetry installs process-wide engine instrumentation: every
+// subsequent Run/RunFlat (fresh or pooled) accumulates its Stats into
+// reg's engine_* counters and records its wall-clock duration in the
+// engine_sweep_ns histogram. nil uninstalls. The registry is process
+// global — engine runs happen inside shard worker goroutines and library
+// helpers that a per-call option could not reach; counters are atomic,
+// so concurrent runs accumulate safely. The deterministic chaos harness
+// deliberately does not install one (wall-clock durations are not part
+// of any replayed trace).
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		engTel.Store(nil)
+		return
+	}
+	engTel.Store(&engineTel{
+		runs:        reg.Counter("engine_runs_total", "completed engine runs"),
+		aborted:     reg.Counter("engine_runs_aborted_total", "engine runs aborted by panic, desync or MaxRounds"),
+		rounds:      reg.Counter("engine_rounds_total", "synchronous rounds executed"),
+		messages:    reg.Counter("engine_messages_total", "messages sent"),
+		bits:        reg.Counter("engine_bits_total", "total traffic volume in bits"),
+		nodeRounds:  reg.Counter("engine_node_rounds_total", "node program segments executed"),
+		oracleCalls: reg.Counter("engine_oracle_calls_total", "per-node global-aggregation oracle uses"),
+		suppressed:  reg.Counter("engine_suppressed_messages_total", "messages lost to injected faults"),
+		crashed:     reg.Counter("engine_crashed_nodes_total", "nodes removed by injected crashes"),
+		sweepNS:     reg.Histogram("engine_sweep_ns", "wall-clock duration of one engine run"),
+	})
+}
+
+// telStart loads the installed handle set and stamps the run start.
+// Disabled telemetry costs exactly this atomic load — time.Now() is
+// skipped too.
+func telStart() (*engineTel, time.Time) {
+	t := engTel.Load()
+	if t == nil {
+		return nil, time.Time{}
+	}
+	return t, time.Now()
+}
+
+// record accumulates one finished run (no-op on nil). An aborted run —
+// the entry point is unwinding a panic from a node program, a desync or
+// a MaxRounds trip — counts only toward the aborted counter: its Stats
+// are partial and its duration says nothing about sweep cost.
+func (t *engineTel) record(start time.Time, st *Stats, completed bool) {
+	if t == nil {
+		return
+	}
+	if !completed {
+		t.aborted.Inc()
+		return
+	}
+	t.runs.Inc()
+	t.rounds.Add(int64(st.Rounds))
+	t.messages.Add(st.Messages)
+	t.bits.Add(st.Bits)
+	t.nodeRounds.Add(st.NodeRounds)
+	t.oracleCalls.Add(st.OracleCalls)
+	t.suppressed.Add(st.SuppressedMessages)
+	t.crashed.Add(int64(st.CrashedNodes))
+	t.sweepNS.ObserveSince(start)
+}

@@ -24,7 +24,10 @@
 // pays for its locality, not for the graph.
 package dynamic
 
-import "distmatch/internal/dist"
+import (
+	"distmatch/internal/dist"
+	"distmatch/internal/telemetry"
+)
 
 // Op is the kind of one edge update.
 type Op uint8
@@ -170,6 +173,24 @@ type Options struct {
 	// Workers and Backend configure the underlying engine.
 	Workers int
 	Backend dist.Backend
+	// Telemetry, when set, registers the maintainer_* latency histograms
+	// (Apply, repair, certificate-probe wall time) on the given registry.
+	// Handles are atomics, so maintainers running in parallel — a shard
+	// pool's workers — may share one registry. Nil disables at the cost of
+	// one branch per site.
+	Telemetry *telemetry.Registry
+	// Events, when set, receives the Maintainer's structured trace
+	// records: health transitions (at Apply granularity), audit verdicts
+	// with their deterministic engine cost, full-graph repairs,
+	// escalations, fault-plan arming. Emission happens under the write
+	// lock, so trace order is deterministic. A shard pool keeps this nil
+	// on its members — parallel shard applies would interleave
+	// nondeterministically — and derives shard events itself in its
+	// serialized phases; set it on standalone maintainers only.
+	Events *telemetry.Events
+	// TelemetryShard is the Shard id stamped on emitted events. Only
+	// consulted when Events is set; use −1 for an unsharded maintainer.
+	TelemetryShard int32
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +239,12 @@ type ApplyReport struct {
 	Rounds     int64
 	Messages   int64
 	NodeRounds int64
+	// AuditRounds and AuditMessages are the certificate probes' share of
+	// Rounds/Messages — the price of certification, separated out so the
+	// always-on-audit overhead is observable per slot. Engine costs are
+	// deterministic, so audit events carry these and replay bit-identically.
+	AuditRounds   int64
+	AuditMessages int64
 	// Faults counts engine runs this Apply lost to injected faults —
 	// aborted by a panic or rejected by the post-run consistency check.
 	// Always 0 without fault injection.
@@ -242,6 +269,8 @@ type Totals struct {
 	RegionNodes   int64 // summed region sizes over all repairs
 	Rounds        int64 // engine rounds over all runs
 	Messages      int64 // engine messages over all runs
+	AuditRounds   int64 // certificate probes' share of Rounds
+	AuditMessages int64 // certificate probes' share of Messages
 	NodeRounds    int64 // nodes actually stepped, summed over all rounds
 	Faults        int   // engine runs lost to injected faults
 	Retries       int   // recovery attempts beyond the first of a maintenance step

@@ -4,13 +4,25 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distmatch/internal/check"
 	"distmatch/internal/core"
 	"distmatch/internal/dist"
 	"distmatch/internal/graph"
 	"distmatch/internal/rng"
+	"distmatch/internal/telemetry"
 )
+
+// maintTel is the Maintainer's latency-histogram handle set, resolved
+// once in New. All handles are nil when Options.Telemetry is unset, and
+// every site guards on the handle — disabled telemetry costs one branch,
+// no time.Now().
+type maintTel struct {
+	applyNS  *telemetry.Histogram
+	repairNS *telemetry.Histogram
+	auditNS  *telemetry.Histogram
+}
 
 // Maintainer holds a (1−1/K)-approximate matching over the live subgraph
 // of a fixed bipartite slab and repairs it incrementally under batched
@@ -79,6 +91,13 @@ type Maintainer struct {
 
 	runCtr uint64
 	totals Totals
+
+	// Telemetry (see Options.Telemetry/Events). Events are emitted only
+	// under the write lock; the event Slot is totals.Applies, the
+	// Maintainer's deterministic step clock.
+	tel      maintTel
+	events   *telemetry.Events
+	telShard int32
 }
 
 // New builds a Maintainer over the bipartite slab g. The slab fixes the
@@ -104,6 +123,14 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 	}
 	if opts.AuditEvery > 0 {
 		mt.curAudit, mt.auditIn = opts.AuditEvery, opts.AuditEvery
+	}
+	mt.events, mt.telShard = opts.Events, opts.TelemetryShard
+	if reg := opts.Telemetry; reg != nil {
+		mt.tel = maintTel{
+			applyNS:  reg.Histogram("maintainer_apply_ns", "wall-clock duration of one Maintainer.Apply"),
+			repairNS: reg.Histogram("maintainer_repair_ns", "wall-clock duration of one repair engine run"),
+			auditNS:  reg.Histogram("maintainer_audit_ns", "wall-clock duration of one certificate probe"),
+		}
 	}
 	if opts.MaxRounds > 0 {
 		mt.r.SetMaxRounds(opts.MaxRounds)
@@ -215,6 +242,11 @@ func (mt *Maintainer) LiveGraph() *graph.Graph {
 func (mt *Maintainer) Apply(b Batch) ApplyReport {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	var t0 time.Time
+	if mt.tel.applyNS != nil {
+		t0 = time.Now()
+	}
+	pre := mt.health
 	mt.totals.Applies++
 	var rep ApplyReport
 
@@ -275,7 +307,29 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 		mt.cachedGood.Store(nil)
 	}
 	rep.Health = mt.health
+	if mt.health != pre {
+		mt.emit(telemetry.EventHealth, int64(pre), int64(mt.health))
+	}
+	if mt.tel.applyNS != nil {
+		mt.tel.applyNS.ObserveSince(t0)
+	}
 	return rep
+}
+
+// emit appends one trace record stamped with the Maintainer's step clock
+// (totals.Applies — deterministic, never wall time). Callers hold the
+// write lock; no-op when Options.Events is unset.
+func (mt *Maintainer) emit(kind telemetry.EventKind, a, b int64) {
+	if mt.events == nil {
+		return
+	}
+	mt.events.Append(telemetry.Event{
+		Slot:  int64(mt.totals.Applies),
+		Kind:  kind,
+		Shard: mt.telShard,
+		A:     a,
+		B:     b,
+	})
 }
 
 // maintain runs the batch's maintenance step. The fault-free, Healthy
@@ -298,11 +352,7 @@ func (mt *Maintainer) maintainOnce(rep *ApplyReport) {
 		// deltas included — exactly what a per-slot BipartiteMCM pays
 		// (minus engine setup, which the shared Runner amortizes for
 		// both policies).
-		for v := range mt.matchedEdge {
-			mt.matchedEdge[v] = -1
-		}
-		mt.cached.Store(nil)
-		mt.repair(nil, 0, rep)
+		mt.repairFull(true, rep)
 	case len(mt.dirty) == 0:
 		// Nothing structural changed: the matching stands as is.
 	default:
@@ -317,7 +367,7 @@ func (mt *Maintainer) repairDirtyRegion(rep *ApplyReport) {
 	if count := mt.growRegion(); float64(count) > mt.opts.MaxRegionFrac*float64(mt.g.N()) {
 		// Region overflow: one warm full-graph pass beats regional
 		// bookkeeping, and the current matching stays as the seed.
-		mt.repair(nil, 0, rep)
+		mt.repairFull(false, rep)
 	} else {
 		// The engine's active mask is both the repair's region mask
 		// and its execution schedule: only region nodes are stepped
@@ -336,12 +386,8 @@ func (mt *Maintainer) repairDirtyRegion(rep *ApplyReport) {
 func (mt *Maintainer) Recompute() ApplyReport {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	for v := range mt.matchedEdge {
-		mt.matchedEdge[v] = -1
-	}
-	mt.cached.Store(nil)
 	var rep ApplyReport
-	mt.repair(nil, 0, &rep)
+	mt.repairFull(true, &rep)
 	return rep
 }
 
@@ -353,8 +399,12 @@ func (mt *Maintainer) Audit() ApplyReport {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	var rep ApplyReport
+	pre := mt.health
 	mt.runAudit(&rep)
 	rep.Health = mt.health
+	if mt.health != pre {
+		mt.emit(telemetry.EventHealth, int64(pre), int64(mt.health))
+	}
 	return rep
 }
 
@@ -390,9 +440,11 @@ func (mt *Maintainer) InjectFaults(plan *dist.FaultPlan) {
 		if mt.opts.MaxRounds == 0 {
 			mt.r.SetMaxRounds(0)
 		}
+		mt.emit(telemetry.EventFaultInject, 0, 0)
 		return
 	}
 	mt.armed = true
+	mt.emit(telemetry.EventFaultInject, 1, 0)
 	if mt.opts.MaxRounds == 0 {
 		mt.r.SetMaxRounds(faultMaxRounds)
 	}
@@ -498,6 +550,7 @@ func (mt *Maintainer) Adopt(matched []int32) error {
 // adoptLocked installs a validated matching and resets the recovery
 // state to Recovering-until-audited. Callers hold mt.mu.
 func (mt *Maintainer) adoptLocked(matched []int32) {
+	pre := mt.health
 	copy(mt.matchedEdge, matched)
 	mt.cached.Store(nil)
 	if mt.lastGood == nil {
@@ -509,6 +562,9 @@ func (mt *Maintainer) adoptLocked(matched []int32) {
 	mt.justRecovered = false
 	if mt.g.N() > 0 {
 		mt.health = Recovering
+	}
+	if mt.health != pre {
+		mt.emit(telemetry.EventHealth, int64(pre), int64(mt.health))
 	}
 }
 
@@ -622,7 +678,14 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 	if region == nil {
 		mt.r.ClearActive()
 	}
+	var t0 time.Time
+	if mt.tel.repairNS != nil {
+		t0 = time.Now()
+	}
 	st := mt.repairer.Repair(mt.nextSeed(), region)
+	if mt.tel.repairNS != nil {
+		mt.tel.repairNS.ObserveSince(t0)
+	}
 	mt.cached.Store(nil)
 	nodes := mt.g.N()
 	if region != nil {
@@ -635,6 +698,25 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 	rep.RegionNodes = nodes
 	mt.totals.RegionNodes += int64(nodes)
 	mt.addCost(rep, st)
+}
+
+// repairFull is one full-graph pass, warm (seeded by the current
+// matching) or cold (matching discarded first), with the corresponding
+// trace record. Every full-repair call site routes through here so the
+// warm/cold split is observable in the event stream.
+func (mt *Maintainer) repairFull(cold bool, rep *ApplyReport) {
+	if cold {
+		for v := range mt.matchedEdge {
+			mt.matchedEdge[v] = -1
+		}
+		mt.cached.Store(nil)
+	}
+	mt.repair(nil, 0, rep)
+	kind := telemetry.EventRepairWarm
+	if cold {
+		kind = telemetry.EventRepairCold
+	}
+	mt.emit(kind, int64(mt.g.N()), 0)
 }
 
 // attempt runs one maintenance or audit step under the fault guard. A
@@ -721,14 +803,8 @@ func (mt *Maintainer) scrub() {
 func (mt *Maintainer) ladder(rep *ApplyReport) {
 	levels := []func(){
 		func() { mt.maintainOnce(rep) },
-		func() { mt.repair(nil, 0, rep) },
-		func() {
-			for v := range mt.matchedEdge {
-				mt.matchedEdge[v] = -1
-			}
-			mt.cached.Store(nil)
-			mt.repair(nil, 0, rep)
-		},
+		func() { mt.repairFull(false, rep) },
+		func() { mt.repairFull(true, rep) },
 	}
 	first := true
 	for lvl, step := range levels {
@@ -753,6 +829,7 @@ func (mt *Maintainer) ladder(rep *ApplyReport) {
 			}
 		}
 		mt.totals.Escalations++
+		mt.emit(telemetry.EventEscalation, int64(lvl), int64(rep.Faults))
 	}
 	// Every level exhausted: stay Degraded, serve the snapshot, try again
 	// on the next Apply.
@@ -791,6 +868,7 @@ func (mt *Maintainer) maybeAudit(rep *ApplyReport) {
 // Recovering promoted to Healthy by a clean certified pass.
 func (mt *Maintainer) runAudit(rep *ApplyReport) {
 	pre := mt.totals.AuditFailures
+	preRounds, preMsgs := rep.AuditRounds, rep.AuditMessages
 	if mt.armed || mt.health != Healthy {
 		if !mt.attempt(rep, func() { mt.auditOnce(rep) }) {
 			mt.tightenCadence()
@@ -799,6 +877,14 @@ func (mt *Maintainer) runAudit(rep *ApplyReport) {
 	} else {
 		mt.auditOnce(rep)
 	}
+	// The verdict event carries the audit's deterministic engine cost
+	// (probe rounds and messages this audit spent), so replayed traces
+	// expose the price of certification slot by slot.
+	kind := telemetry.EventAuditPass
+	if mt.totals.AuditFailures > pre {
+		kind = telemetry.EventAuditFail
+	}
+	mt.emit(kind, rep.AuditRounds-preRounds, rep.AuditMessages-preMsgs)
 	if mt.totals.AuditFailures > pre {
 		mt.tightenCadence()
 	} else {
@@ -834,7 +920,7 @@ func (mt *Maintainer) auditOnce(rep *ApplyReport) {
 	probe := 2*mt.opts.K - 1
 	r, st := mt.probeCertificate(probe)
 	mt.totals.Audits++
-	mt.addCost(rep, st)
+	mt.addAuditCost(rep, st)
 	if !r.Valid {
 		panic("dynamic: audit found an inconsistent matching (maintainer invariant broken)")
 	}
@@ -846,10 +932,10 @@ func (mt *Maintainer) auditOnce(rep *ApplyReport) {
 	// accumulated past the target. Repair globally (warm start from the
 	// current matching) and re-certify.
 	mt.totals.AuditFailures++
-	mt.repair(nil, 0, rep)
+	mt.repairFull(false, rep)
 	r, st = mt.probeCertificate(probe)
 	mt.totals.Audits++
-	mt.addCost(rep, st)
+	mt.addAuditCost(rep, st)
 	if !r.Valid {
 		panic("dynamic: post-recompute audit found an inconsistent matching")
 	}
@@ -871,7 +957,25 @@ func (mt *Maintainer) probeCertificate(probe int) (check.Report, *dist.Stats) {
 	} else {
 		mt.r.SetActive(mt.liveList)
 	}
-	return check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	var t0 time.Time
+	if mt.tel.auditNS != nil {
+		t0 = time.Now()
+	}
+	r, st := check.MatchingOnRunner(mt.r, mt.matchedEdge, probe, mt.nextSeed())
+	if mt.tel.auditNS != nil {
+		mt.tel.auditNS.ObserveSince(t0)
+	}
+	return r, st
+}
+
+// addAuditCost folds one certificate probe's engine cost into the audit
+// share as well as the general aggregates.
+func (mt *Maintainer) addAuditCost(rep *ApplyReport, st *dist.Stats) {
+	rep.AuditRounds += int64(st.Rounds)
+	rep.AuditMessages += st.Messages
+	mt.totals.AuditRounds += int64(st.Rounds)
+	mt.totals.AuditMessages += st.Messages
+	mt.addCost(rep, st)
 }
 
 func (mt *Maintainer) addCost(rep *ApplyReport, st *dist.Stats) {

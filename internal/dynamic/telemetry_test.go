@@ -1,0 +1,142 @@
+package dynamic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"distmatch/internal/dist"
+	"distmatch/internal/telemetry"
+)
+
+// telOpts builds a standalone instrumented Maintainer's options: one
+// registry for latency histograms, its ring for trace events, shard −1
+// (unsharded).
+func telOpts(base Options) (Options, *telemetry.Registry) {
+	reg := telemetry.New(telemetry.Options{})
+	base.Telemetry = reg
+	base.Events = reg.Events()
+	base.TelemetryShard = -1
+	return base, reg
+}
+
+// TestMaintainerTelemetry drives one instrumented maintainer through the
+// interesting transitions and checks the trace and histograms line up
+// with the reports.
+func TestMaintainerTelemetry(t *testing.T) {
+	opts, reg := telOpts(Options{K: 2, Seed: 7, StartEmpty: true, AuditEvery: -1})
+	mt := New(slab44(), opts)
+	defer mt.Close()
+
+	mt.Apply(Batch{{Edge: eid(0, 0), Op: Insert}, {Edge: eid(1, 1), Op: Insert}})
+	rep := mt.Audit()
+	if !rep.Audited || !rep.CertificateOK {
+		t.Fatalf("audit report %+v", rep)
+	}
+	if rep.AuditRounds <= 0 || rep.AuditRounds > rep.Rounds {
+		t.Fatalf("audit cost out of range: %+v", rep)
+	}
+	ev := reg.Events().Strings()
+	wantAudit := "slot=1 shard=-1 audit_pass a=" // a = the audit's engine rounds
+	found := false
+	for _, s := range ev {
+		if strings.HasPrefix(s, wantAudit) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no audit_pass event in %v", ev)
+	}
+	if got := reg.Histogram("maintainer_apply_ns", "").Count(); got != 1 {
+		t.Fatalf("apply histogram count %d, want 1", got)
+	}
+	if got := reg.Histogram("maintainer_audit_ns", "").Count(); got != 1 {
+		t.Fatalf("audit histogram count %d, want 1", got)
+	}
+
+	// The exhaustion schedule from TestRecoveryLadderExhaustion: arming,
+	// health drop, three escalations — then healing via delete + audit.
+	mt.InjectFaults(dist.NewFaultPlan([]dist.FaultEvent{
+		{Round: 0, Kind: dist.FaultPanic, Node: 2},
+	}))
+	mt.Apply(Batch{{Edge: eid(2, 2), Op: Insert}})
+	mt.InjectFaults(nil)
+	trace := strings.Join(reg.Events().Strings(), "\n")
+	for _, want := range []string{
+		"fault_inject a=1",
+		"slot=2 shard=-1 escalation a=0 b=2",
+		"slot=2 shard=-1 escalation a=2 b=6",
+		"health a=0 b=1", // Healthy → Degraded
+		"fault_inject a=0",
+	} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("trace missing %q:\n%s", want, trace)
+		}
+	}
+
+	// A repair event records a *completed* full pass — the panicking
+	// ladder attempts above emitted none.
+	if strings.Contains(trace, "repair_") {
+		t.Fatalf("lost repair attempts must not emit repair records:\n%s", trace)
+	}
+	// Recompute is a completed cold pass; a region overflowing
+	// MaxRegionFrac is a completed warm one. Both carry the slab size as
+	// the swept-node count.
+	mt.Recompute()
+	if tr := strings.Join(reg.Events().Strings(), "\n"); !strings.Contains(tr, "repair_cold a=8") {
+		t.Fatalf("Recompute missing from trace:\n%s", tr)
+	}
+	optsW, regW := telOpts(Options{K: 2, Seed: 7, StartEmpty: true, AuditEvery: -1, MaxRegionFrac: 0.01})
+	wm := New(slab44(), optsW)
+	defer wm.Close()
+	wm.Apply(Batch{{Edge: eid(0, 0), Op: Insert}})
+	if tr := strings.Join(regW.Events().Strings(), "\n"); !strings.Contains(tr, "slot=1 shard=-1 repair_warm a=8") {
+		t.Fatalf("region overflow missing warm-repair record:\n%s", tr)
+	}
+}
+
+// TestMaintainerTelemetryDeterministic replays the same update and fault
+// schedule twice and requires bit-identical traces — events carry the
+// Apply clock, never wall time.
+func TestMaintainerTelemetryDeterministic(t *testing.T) {
+	run := func() []string {
+		opts, reg := telOpts(Options{K: 2, Seed: 7, StartEmpty: true, AuditEvery: 2})
+		mt := New(slab44(), opts)
+		defer mt.Close()
+		mt.Apply(Batch{{Edge: eid(0, 0), Op: Insert}, {Edge: eid(1, 1), Op: Insert}})
+		mt.InjectFaults(dist.NewFaultPlan([]dist.FaultEvent{
+			{Round: 0, Kind: dist.FaultPanic, Node: 2},
+		}))
+		mt.Apply(Batch{{Edge: eid(2, 2), Op: Insert}})
+		mt.InjectFaults(nil)
+		mt.Apply(Batch{{Edge: eid(0, 0), Op: Delete}})
+		mt.Apply(Batch{{Edge: eid(3, 3), Op: Insert}})
+		mt.Audit()
+		return reg.Events().Strings()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("schedule produced no events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("traces differ:\n%v\n%v", a, b)
+	}
+}
+
+// TestMaintainerTelemetryDisabled: a maintainer without telemetry behaves
+// identically (reports equal) and records nothing.
+func TestMaintainerTelemetryDisabled(t *testing.T) {
+	optsOn, reg := telOpts(Options{K: 2, Seed: 7, StartEmpty: true, AuditEvery: 2})
+	on := New(slab44(), optsOn)
+	defer on.Close()
+	off := New(slab44(), Options{K: 2, Seed: 7, StartEmpty: true, AuditEvery: 2})
+	defer off.Close()
+	b := Batch{{Edge: eid(0, 0), Op: Insert}, {Edge: eid(2, 1), Op: Insert}, {Edge: eid(1, 2), Op: Insert}}
+	ra, rb := on.Apply(b), off.Apply(b)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("telemetry changed the report: %+v vs %+v", ra, rb)
+	}
+	if reg.Events().Total() == 0 && on.Totals().Audits > 0 {
+		t.Fatal("instrumented maintainer audited without recording any event")
+	}
+}

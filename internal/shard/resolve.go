@@ -3,6 +3,7 @@ package shard
 import (
 	"distmatch/internal/check"
 	"distmatch/internal/dist"
+	"distmatch/internal/telemetry"
 )
 
 // recompose rebuilds the composed matching from what each up shard is
@@ -32,7 +33,7 @@ func (p *Pool) recompose(rep *Report) {
 			}
 		}
 	}
-	crossingMatched := 0
+	crossingMatched, newMatches := 0, 0
 	for _, ce := range p.crossing {
 		x, y := p.g.Endpoints(int(ce))
 		claimed := p.gmatch[x] == ce || p.gmatch[y] == ce
@@ -50,6 +51,7 @@ func (p *Pool) recompose(rep *Report) {
 		if !claimed && p.live[ce] && p.gmatch[x] < 0 && p.gmatch[y] < 0 {
 			p.gmatch[x], p.gmatch[y] = ce, ce
 			p.totals.CrossingMatched++
+			newMatches++
 		}
 		if p.gmatch[x] == ce {
 			crossingMatched++
@@ -57,6 +59,12 @@ func (p *Pool) recompose(rep *Report) {
 	}
 	if rep != nil {
 		rep.CrossingMatched = crossingMatched
+	}
+	if p.tel != nil && newMatches > 0 {
+		p.tel.crossingMatched.Add(int64(newMatches))
+		if rep != nil {
+			p.emit(rep.Step, telemetry.EventCrossing, -1, int64(newMatches), 0)
+		}
 	}
 }
 
@@ -104,6 +112,7 @@ func (p *Pool) Audit() Report {
 	}
 	rep.Healths, rep.Down = p.healthsLocked()
 	rep.Degraded = p.degradedLocked()
+	p.updateGauges()
 	return rep
 }
 
@@ -119,6 +128,18 @@ func (p *Pool) runAudit(rep *Report) {
 	probe := 2*p.opts.K - 1
 	rep.Audited = true
 	p.totals.Audits++
+	// The pool audit event carries runAudit's whole resolver cost —
+	// probes plus any conflict repair, i.e. the slot's entire cross-shard
+	// communication bill. Engine costs are deterministic, so the record
+	// replays bit-identically.
+	preRounds, preMsgs := p.totals.Rounds, p.totals.Messages
+	emitVerdict := func(ok bool) {
+		kind := telemetry.EventAuditFail
+		if ok {
+			kind = telemetry.EventAuditPass
+		}
+		p.emit(rep.Step, kind, -1, p.totals.Rounds-preRounds, p.totals.Messages-preMsgs)
+	}
 	r, st := p.probe(probe)
 	p.addCost(st)
 	if !r.Valid {
@@ -127,6 +148,7 @@ func (p *Pool) runAudit(rep *Report) {
 	if r.ShortestAug == -1 {
 		rep.CertificateOK = true
 		p.certified = true
+		emitVerdict(true)
 		return
 	}
 	p.totals.AuditFailures++
@@ -142,7 +164,8 @@ func (p *Pool) runAudit(rep *Report) {
 	}
 	rep.CertificateOK = r.ShortestAug == -1
 	p.certified = rep.CertificateOK
-	p.adoptBack(before)
+	emitVerdict(false)
+	p.adoptBack(before, rep.Step)
 }
 
 // probe runs the full-sweep Berge probe through the resolver runner.
@@ -181,7 +204,7 @@ func (p *Pool) restrictionOf(slot *shardSlot) []int32 {
 // a consistent local matching on the shard's live sub-slab, so Adopt
 // cannot fail; the shard serves it immediately and re-certifies through
 // its own forced audit on the next Apply.
-func (p *Pool) adoptBack(before [][]int32) {
+func (p *Pool) adoptBack(before [][]int32, step int) {
 	for s, slot := range p.shards {
 		if !slot.up || before[s] == nil {
 			continue
@@ -193,8 +216,12 @@ func (p *Pool) adoptBack(before [][]int32) {
 		if err := slot.mt.Adopt(after); err != nil {
 			panic("shard: push-back of a repaired restriction failed: " + err.Error())
 		}
-		slot.health = slot.mt.Health()
+		if h := slot.mt.Health(); h != slot.health {
+			p.emit(step, telemetry.EventHealth, int32(s), int64(slot.health), int64(h))
+			slot.health = h
+		}
 		p.totals.Adopts++
+		p.emit(step, telemetry.EventAdopt, int32(s), 0, 0)
 	}
 }
 
@@ -214,4 +241,8 @@ func (p *Pool) addCost(st *dist.Stats) {
 	p.totals.Rounds += int64(st.Rounds)
 	p.totals.Messages += st.Messages
 	p.totals.NodeRounds += st.NodeRounds
+	if p.tel != nil {
+		p.tel.resolverRounds.Add(int64(st.Rounds))
+		p.tel.resolverMsgs.Add(st.Messages)
+	}
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distmatch/internal/core"
 	"distmatch/internal/dist"
 	"distmatch/internal/dynamic"
 	"distmatch/internal/graph"
 	"distmatch/internal/rng"
+	"distmatch/internal/telemetry"
 )
 
 // Options configures a Pool.
@@ -46,6 +48,17 @@ type Options struct {
 	// Workers and Backend configure every underlying engine.
 	Workers int
 	Backend dist.Backend
+	// Telemetry, when set, registers the pool's metric handles — per-shard
+	// up/health/backoff/restart gauges, routing and resolver counters, the
+	// pool_apply_ns histogram — and makes the registry's event ring the
+	// pool's structured trace. Shard Maintainers share the registry's
+	// latency histograms (atomic, order-independent) but never its ring:
+	// the pool derives every shard event itself in its serialized
+	// write-locked phases, in shard order, from the captured per-shard
+	// ApplyReports — parallel shard applies would otherwise interleave the
+	// trace nondeterministically. Events carry the Apply slot, never wall
+	// time, so seeded chaos schedules replay with bit-identical traces.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -207,6 +220,7 @@ type Pool struct {
 	seedBase uint64
 	runCtr   uint64
 	totals   Stats
+	tel      *poolTel // nil when Options.Telemetry is unset
 
 	mu     sync.RWMutex
 	cached atomic.Pointer[graph.Matching]
@@ -238,6 +252,7 @@ func New(g *graph.Graph, opts Options) *Pool {
 	for v := range p.gmatch {
 		p.gmatch[v] = -1
 	}
+	p.tel = newPoolTel(opts.Telemetry, opts.Shards)
 	p.partition()
 	p.repairer = core.NewBipartiteRepairer(p.resolver, p.gmatch, core.RepairOptions{
 		K:       opts.K,
@@ -264,6 +279,7 @@ func New(g *graph.Graph, opts Options) *Pool {
 	if !opts.StartEmpty {
 		p.recompose(nil)
 	}
+	p.updateGauges()
 	return p
 }
 
@@ -343,6 +359,10 @@ func (p *Pool) spawn(slot *shardSlot, startEmpty bool) {
 		StartEmpty: startEmpty,
 		Workers:    p.opts.Workers,
 		Backend:    p.opts.Backend,
+		// Histograms only — no event ring: shard applies run in parallel,
+		// so the pool derives shard events itself in its serialized
+		// phases (see Options.Telemetry).
+		Telemetry: p.opts.Telemetry,
 	})
 	slot.up = true
 	slot.health = slot.mt.Health()
@@ -359,6 +379,10 @@ func (p *Pool) Apply(b dynamic.Batch) Report {
 	if p.closed {
 		panic("shard: Apply on a closed Pool")
 	}
+	var t0 time.Time
+	if p.tel != nil {
+		t0 = time.Now()
+	}
 	step := p.step
 	p.step++
 	p.totals.Applies++
@@ -366,14 +390,21 @@ func (p *Pool) Apply(b dynamic.Batch) Report {
 
 	p.supervise(step, &rep)
 	p.route(b, &rep)
-	crashed := p.applyShards(&rep)
-	p.observeHealth(crashed, step, &rep)
+	crashed, reps := p.applyShards(&rep)
+	p.observeHealth(crashed, reps, step, &rep)
 	p.recompose(&rep)
 	p.maybeAudit(&rep)
 
 	rep.Healths, rep.Down = p.healthsLocked()
 	rep.Degraded = p.degradedLocked()
 	p.cached.Store(nil)
+	if p.tel != nil {
+		p.tel.routed.Add(int64(rep.Routed))
+		p.tel.crossing.Add(int64(rep.Crossing))
+		p.tel.deferred.Add(int64(rep.Deferred))
+		p.updateGauges()
+		p.tel.applyNS.ObserveSince(t0)
+	}
 	return rep
 }
 
@@ -442,11 +473,14 @@ func (p *Pool) route(b dynamic.Batch, rep *Report) {
 
 // applyShards runs every up shard's local batch in parallel — the
 // maintainers share no state, so the phase is embarrassingly parallel
-// and deterministic — and reports which shards were lost to a panic.
-// Every up shard applies even an empty batch: that is what advances its
-// audit cadence and its recovery ladder.
-func (p *Pool) applyShards(rep *Report) []bool {
+// and deterministic — and reports which shards were lost to a panic,
+// plus each survivor's ApplyReport (the raw material the telemetry
+// phase replays into shard events, in shard order). Every up shard
+// applies even an empty batch: that is what advances its audit cadence
+// and its recovery ladder.
+func (p *Pool) applyShards(rep *Report) ([]bool, []dynamic.ApplyReport) {
 	crashed := make([]bool, len(p.shards))
+	reps := make([]dynamic.ApplyReport, len(p.shards))
 	var wg sync.WaitGroup
 	for _, slot := range p.shards {
 		if !slot.up {
@@ -460,29 +494,32 @@ func (p *Pool) applyShards(rep *Report) []bool {
 					crashed[slot.id] = true
 				}
 			}()
-			r := slot.mt.Apply(slot.batch)
-			_ = r // health is re-read under supervision below
+			reps[slot.id] = slot.mt.Apply(slot.batch)
 		}(slot)
 	}
 	wg.Wait()
-	return crashed
+	return crashed, reps
 }
 
 // observeHealth is the supervisor's consumption of each surviving
 // shard's Health: an illegal observable transition (Degraded→Healthy —
 // a shard that skipped certification) marks the shard corrupt, and both
 // corrupt and panicked shards are killed for rebuild.
-func (p *Pool) observeHealth(crashed []bool, step int, rep *Report) {
+func (p *Pool) observeHealth(crashed []bool, reps []dynamic.ApplyReport, step int, rep *Report) {
 	for s, slot := range p.shards {
 		if !slot.up {
 			continue
 		}
 		lost := crashed[s]
 		if !lost {
+			p.emitShardReport(step, int32(s), reps[s])
 			h := slot.mt.Health()
 			if !dynamic.ValidTransition(slot.health, h) {
 				lost = true
 			} else {
+				if h != slot.health {
+					p.emit(step, telemetry.EventHealth, int32(s), int64(slot.health), int64(h))
+				}
 				slot.health = h
 				// The backoff resets only after the shard completes a full
 				// Apply slot Healthy — the restart slot itself does not
@@ -496,6 +533,7 @@ func (p *Pool) observeHealth(crashed []bool, step int, rep *Report) {
 		if lost {
 			p.totals.Crashes++
 			rep.Crashed = append(rep.Crashed, s)
+			p.emit(step, telemetry.EventShardCrash, int32(s), 0, 0)
 			p.downLocked(slot, step)
 		}
 	}
@@ -597,6 +635,11 @@ func (p *Pool) InjectShardFaults(s int, plan *dist.FaultPlan) error {
 		return fmt.Errorf("shard: shard %d is down", s)
 	}
 	p.shards[s].mt.InjectFaults(plan)
+	armed := int64(0)
+	if plan != nil {
+		armed = 1
+	}
+	p.emit(p.step, telemetry.EventFaultInject, int32(s), armed, 0)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"distmatch/internal/dynamic"
+	"distmatch/internal/telemetry"
 )
 
 // KillKind is the kind of one scheduled supervisor event.
@@ -129,7 +130,12 @@ func (p *Pool) downLocked(slot *shardSlot, step int) {
 	}
 	p.closeSlot(slot)
 	slot.wakeAt = step + slot.backoff
+	p.emit(step, telemetry.EventShardKill, int32(slot.id), int64(slot.backoff), 0)
+	old := slot.backoff
 	slot.backoff = min(2*slot.backoff, p.opts.MaxBackoff)
+	if slot.backoff != old {
+		p.emit(step, telemetry.EventShardBackoff, int32(slot.id), int64(slot.backoff), 0)
+	}
 }
 
 func (p *Pool) closeSlot(slot *shardSlot) {
@@ -168,7 +174,12 @@ func (p *Pool) rebuildLocked(slot *shardSlot, step int) {
 		// it is a bug, not a runtime condition.
 		panic(fmt.Sprintf("shard: rebuild of shard %d from the pool mirror failed: %v", slot.id, err))
 	}
+	pre := slot.health
 	slot.health = slot.mt.Health()
+	p.emit(step, telemetry.EventShardRestart, int32(slot.id), int64(slot.restarts), 0)
+	if slot.health != pre {
+		p.emit(step, telemetry.EventHealth, int32(slot.id), int64(pre), int64(slot.health))
+	}
 }
 
 // KillShard takes shard s down now (the distmatchd kill endpoint and the
@@ -189,6 +200,7 @@ func (p *Pool) KillShard(s int) error {
 	}
 	p.totals.Kills++
 	p.downLocked(slot, p.step)
+	p.updateGauges()
 	return nil
 }
 
@@ -208,6 +220,7 @@ func (p *Pool) RestartShard(s int) error {
 		p.closeSlot(slot)
 	}
 	p.rebuildLocked(slot, p.step)
+	p.updateGauges()
 	return nil
 }
 

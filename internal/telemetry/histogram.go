@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: values below subCount land in exact unit buckets
+// [v, v+1); larger values land in log buckets with subCount sub-buckets
+// per octave, so the relative quantization error is bounded by
+// 1/subCount = 12.5%. With int64 values the index space is
+// subCount + (64-subBits)*subCount − wait-free to compute from the
+// value's bit length — 496 buckets, 4KB of atomics per histogram.
+const (
+	subBits    = 3
+	subCount   = 1 << subBits // 8 sub-buckets per octave
+	numBuckets = subCount + (63-subBits+1)*subCount
+)
+
+// bucketIndex maps a non-negative value to its bucket. Exported only
+// through BucketBounds for the exactness tests.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	l := bits.Len64(uint64(v)) - 1 // position of the most significant bit, ≥ subBits
+	return subCount + (l-subBits)*subCount + int((uint64(v)>>(uint(l-subBits)))&(subCount-1))
+}
+
+// BucketBounds returns bucket i's half-open value range [lo, hi). The
+// exactness test pins these against bucketIndex.
+func BucketBounds(i int) (lo, hi int64) {
+	if i < subCount {
+		return int64(i), int64(i) + 1
+	}
+	o := uint((i - subCount) >> subBits)
+	sub := int64((i - subCount) & (subCount - 1))
+	lo = (subCount + sub) << o
+	return lo, lo + (1 << o)
+}
+
+// Histogram is a log-bucketed distribution of non-negative int64
+// observations — latencies in nanoseconds, by convention (metric names
+// end in _ns). Observations are one atomic add each; quantile reads are
+// lock-free snapshots, approximate under concurrent writes (each bucket
+// is read once, so a racing Observe may or may not be counted — fine for
+// monitoring, and the exactness tests run single-threaded). A nil
+// *Histogram no-ops.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value (negative values clamp to 0; no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since start (no-op on nil).
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// inclusive upper edge of the bucket holding the ⌈q·count⌉-th smallest
+// observation. Exact for values below 8, within 12.5% above. Returns 0
+// on an empty (or nil) histogram; q outside [0,1] clamps.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			_, hi := BucketBounds(i)
+			return hi - 1
+		}
+	}
+	// Concurrent writers bumped count past the buckets we saw: report the
+	// largest populated bucket's edge (the loop above returned unless every
+	// bucket read 0, which needs count and buckets to race).
+	for i := numBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			_, hi := BucketBounds(i)
+			return hi - 1
+		}
+	}
+	return 0
+}

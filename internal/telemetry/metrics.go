@@ -1,0 +1,59 @@
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing int64. The zero value is ready;
+// a nil *Counter no-ops, so disabled telemetry costs one branch per site.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. The zero value is ready; a nil
+// *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (no-op on nil).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

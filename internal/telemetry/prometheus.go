@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// quantiles exposed per histogram family, matching the serving target
+// ("bounded p99 query latency") plus the median and the tail shoulder.
+var quantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+}
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format (version 0.0.4), families in registration order,
+// series sorted within each family. Counters and gauges expose their
+// value; histograms expose as summaries — {quantile="0.5|0.9|0.99"}
+// sample lines (log-bucket upper bounds, see Histogram.Quantile) plus
+// _sum and _count. Values are int64 — latency histograms are in
+// nanoseconds by convention (families named *_ns). A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.snapshot() {
+		typ := "counter"
+		if fam.kind == 'g' {
+			typ = "gauge"
+		} else if fam.kind == 'h' {
+			typ = "summary"
+		}
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, typ)
+		for _, s := range fam.series {
+			switch fam.kind {
+			case 'c':
+				fmt.Fprintf(bw, "%s %d\n", s.full, s.counter.Value())
+			case 'g':
+				fmt.Fprintf(bw, "%s %d\n", s.full, s.gauge.Value())
+			case 'h':
+				for _, qt := range quantiles {
+					fmt.Fprintf(bw, "%s %d\n", withLabel(s.full, `quantile="`+qt.label+`"`), s.hist.Quantile(qt.q))
+				}
+				fmt.Fprintf(bw, "%s %d\n", suffixed(s.full, "_sum"), s.hist.Sum())
+				fmt.Fprintf(bw, "%s %d\n", suffixed(s.full, "_count"), s.hist.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel appends one label to a series name that may or may not
+// already carry a label set.
+func withLabel(full, label string) string {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:len(full)-1] + "," + label + "}"
+	}
+	return full + "{" + label + "}"
+}
+
+// suffixed appends a name suffix before any label set.
+func suffixed(full, suffix string) string {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i] + suffix + full[i:]
+	}
+	return full + suffix
+}
+
+// ValidateExposition parses a Prometheus text exposition and returns the
+// first syntax violation: sample lines must be `name[{labels}] value`
+// with a valid metric name, parseable labels and a parseable float, and
+// every # TYPE must name a known type and appear at most once per
+// family. It returns the number of sample lines on success — the
+// assertion the telemetry CI job runs against a live /metrics.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				if typed[fields[2]] {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				typed[fields[2]] = true
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		name, rest, perr := parseSeriesName(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.IndexByte(val, ' '); i >= 0 {
+			val = val[:i] // a trailing timestamp is legal
+		}
+		if _, ferr := strconv.ParseFloat(val, 64); ferr != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+		}
+		samples++
+	}
+	if serr := sc.Err(); serr != nil {
+		return samples, serr
+	}
+	return samples, nil
+}
+
+// parseSeriesName splits a sample line into its series name (with any
+// label set consumed and checked) and the remainder.
+func parseSeriesName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("no value on sample line %q", line)
+	}
+	name = line[:i]
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// The closing brace is the first '}' OUTSIDE quotes — label values may
+	// legally contain braces (route templates like "/v1/shards/{id}/kill").
+	end := -1
+	inq := false
+	for j := i + 1; j < len(line) && end < 0; j++ {
+		switch line[j] {
+		case '"':
+			if line[j-1] != '\\' {
+				inq = !inq
+			}
+		case '}':
+			if !inq {
+				end = j
+			}
+		}
+	}
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated label set in %q", line)
+	}
+	labels := line[i+1 : end]
+	if labels != "" {
+		for _, pair := range splitLabels(labels) {
+			eq := strings.IndexByte(pair, '=')
+			if eq <= 0 {
+				return "", "", fmt.Errorf("malformed label %q", pair)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", fmt.Errorf("unquoted label value in %q", pair)
+			}
+		}
+	}
+	rest = line[end+1:]
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", fmt.Errorf("no value after label set in %q", line)
+	}
+	return name, rest[1:], nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

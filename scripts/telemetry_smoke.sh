@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the observability surface: boots a real distmatchd
+# (serving listener + -debugaddr listener), drives applies through a
+# shard kill/restart, and asserts that
+#
+#   - GET /metrics is a parseable Prometheus exposition (validated with
+#     the repo's own ValidateExposition via cmd/expositioncheck) carrying
+#     the engine, maintainer, pool, per-shard and per-route series;
+#   - GET /v1/events shows the failover as structured records
+#     (shard_kill, shard_restart) stamped with Apply slots;
+#   - GET /v1/stats carries per-shard health/backoff;
+#   - the debug listener serves pprof and a second /metrics.
+#
+# The CI telemetry job runs this; run it locally from the repo root:
+# ./scripts/telemetry_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18471}
+DEBUGPORT=${DEBUGPORT:-18472}
+BASE="http://127.0.0.1:$PORT"
+DEBUG="http://127.0.0.1:$DEBUGPORT"
+
+tmp=$(mktemp -d)
+trap 'kill "$srv_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/distmatchd" ./cmd/distmatchd
+
+"$tmp/distmatchd" -addr "127.0.0.1:$PORT" -debugaddr "127.0.0.1:$DEBUGPORT" \
+	-nx 24 -ny 24 -p 0.2 -shards 4 -k 2 -seed 7 -audit 4 \
+	>"$tmp/distmatchd.log" 2>&1 &
+srv_pid=$!
+
+for i in $(seq 1 50); do
+	if curl -fsS "$BASE/v1/health" >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$srv_pid" 2>/dev/null; then
+		echo "FAIL: distmatchd exited during startup:"; cat "$tmp/distmatchd.log"; exit 1
+	fi
+	sleep 0.1
+done
+
+edges=$(curl -fsS "$BASE/v1/matching" | jq '.edges' >/dev/null; echo ok)
+[ "$edges" = ok ]
+
+# Insert a spread of edges, then drive quiet applies so the audit runs.
+m=$(curl -fsS "$BASE/v1/stats" | jq '.shards | length')
+[ "$m" = 4 ] || { echo "FAIL: stats reports $m shards"; exit 1; }
+ups=""
+for e in $(seq 0 40); do ups+="{\"edge\":$e,\"op\":\"insert\"},"; done
+curl -fsS -X POST "$BASE/v1/apply" -d "{\"updates\":[${ups%,}]}" | jq -e '.degraded == false' >/dev/null
+
+# Failover: kill shard 1, apply through the outage, force the restart.
+curl -fsS -X POST "$BASE/v1/shards/1/kill" | jq -e '.killed == 1' >/dev/null
+curl -fsS -X POST "$BASE/v1/apply" -d '{"updates":[]}' >/dev/null
+curl -fsS "$BASE/v1/stats" | jq -e '.shards[1].up == false and .shards[1].backoff >= 1' >/dev/null
+curl -fsS -X POST "$BASE/v1/shards/1/restart" | jq -e '.restarted == 1' >/dev/null
+for i in $(seq 1 6); do curl -fsS -X POST "$BASE/v1/apply" -d '{"updates":[]}' >/dev/null; done
+curl -fsS "$BASE/v1/health" | jq -e '.degraded == false' >/dev/null
+
+# The exposition parses and carries every layer's series.
+curl -fsS "$BASE/metrics" >"$tmp/metrics.txt"
+for series in engine_runs_total engine_sweep_ns maintainer_apply_ns pool_apply_ns \
+	pool_step 'shard_up{shard="1"}' 'http_request_ns{route="/v1/apply"' \
+	'http_requests_total{route="/v1/shards/{id}/kill",code="200"}'; do
+	grep -qF "$series" "$tmp/metrics.txt" || {
+		echo "FAIL: /metrics missing $series"; cat "$tmp/metrics.txt"; exit 1; }
+done
+go run ./cmd/expositioncheck <"$tmp/metrics.txt"
+
+# The structured trace shows the failover, slot-stamped.
+curl -fsS "$BASE/v1/events?n=4096" >"$tmp/events.json"
+for kind in shard_kill shard_restart health audit_pass; do
+	jq -e --arg k "$kind" '[.events[] | select(.kind == $k)] | length > 0' \
+		"$tmp/events.json" >/dev/null || {
+		echo "FAIL: /v1/events missing kind $kind"; cat "$tmp/events.json"; exit 1; }
+done
+
+# The debug listener serves pprof and its own exposition.
+curl -fsS "$DEBUG/debug/pprof/" >/dev/null
+curl -fsS "$DEBUG/metrics" >"$tmp/debug_metrics.txt"
+grep -q engine_runs_total "$tmp/debug_metrics.txt"
+
+echo "PASS: telemetry smoke ($(grep -c '^[a-z]' "$tmp/metrics.txt") sample lines, $(jq '.total' "$tmp/events.json") events)"
