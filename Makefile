@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare telemetry-smoke profile clean
+.PHONY: all build test vet race tier1 bench bench-engine bench-baseline bench-compare telemetry-smoke loadtest loadtest-smoke profile clean
 
 all: tier1
 
@@ -46,6 +46,16 @@ bench-compare:
 # parses, /v1/events shows the failover, and pprof serves.
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# loadtest boots a real distmatchd and drives it with cmd/loadgen
+# (concurrent exactly-once apply clients + matching readers), asserting
+# the p99s off the server's own http_request_ns histograms and that the
+# post-load /metrics exposition still parses. CI runs the smoke variant.
+loadtest:
+	./scripts/loadtest.sh full
+
+loadtest-smoke:
+	./scripts/loadtest.sh smoke
 
 # profile captures pprof CPU + allocation profiles and a runtime trace of
 # a multicore flat-backend run (override PROFILE_ARGS to aim elsewhere);

@@ -9,6 +9,7 @@ package distmatch
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"distmatch/internal/core"
@@ -751,6 +752,46 @@ func BenchmarkShardServingSingleApply(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mt.Apply(toggles(r, live))
 	}
+}
+
+// BenchmarkShardServingPoolApplySerial is the identical slot stream with
+// the pool's commit pipelines and incremental recompose disabled
+// (Options.Serial) — the PR-8/9 write path, kept as the differential
+// oracle; the gap to BenchmarkShardServingPoolApply prices the pipeline.
+func BenchmarkShardServingPoolApplySerial(b *testing.B) {
+	g := shardServingSlab()
+	p := NewPool(g, PoolOptions{Shards: 4, K: 2, Seed: 6, AuditEvery: 16, Serial: true})
+	defer p.Close()
+	live := make([]bool, g.M())
+	for e := range live {
+		live[e] = true
+	}
+	toggles := benchShardToggles(g.M())
+	r := rng.New(44)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(toggles(r, live))
+	}
+}
+
+// BenchmarkShardServingPoolApplyConcurrent is the contended write path:
+// parallel callers racing on the slot lock, each with its own toggle
+// stream (per-caller liveness belief — collisions just make some toggles
+// no-ops, which is what contending clients look like).
+func BenchmarkShardServingPoolApplyConcurrent(b *testing.B) {
+	g := shardServingSlab()
+	p := NewPool(g, PoolOptions{Shards: 4, K: 2, Seed: 6, AuditEvery: 16})
+	defer p.Close()
+	var ctr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(44 + ctr.Add(1))
+		live := make([]bool, g.M())
+		toggles := benchShardToggles(g.M())
+		for pb.Next() {
+			p.Apply(toggles(r, live))
+		}
+	})
 }
 
 // ---- Telemetry overhead: instrumented vs bare ----

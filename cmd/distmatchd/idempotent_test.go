@@ -1,0 +1,102 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distmatch/internal/gen"
+	"distmatch/internal/rng"
+	"distmatch/internal/shard"
+	"distmatch/internal/telemetry"
+)
+
+// TestServerApplyTimeoutExactlyOnce is the regression test for the PR-10
+// double-apply bug: http.TimeoutHandler abandons the handler goroutine
+// but pool.Apply keeps running to commit, so a client that saw the 503
+// and retried used to apply its batch twice. With client/seq on the
+// request the retry must come back "duplicate" with the batch committed
+// exactly once.
+//
+// Two handlers share one pool: a short-timeout one whose request is
+// forced to time out mid-apply (the pool's commit test hook parks the
+// slot between routing and commit until the 503 has gone out) and a
+// generous one for the retry path. The abandoned handler goroutine then
+// finishes its commit; the retry must not add a second one.
+func TestServerApplyTimeoutExactlyOnce(t *testing.T) {
+	reg := telemetry.New(telemetry.Options{EventCapacity: 1024})
+	g := gen.BipartiteGnp(rng.New(7), 12, 12, 0.3)
+	pool := shard.New(g, shard.Options{
+		Shards: 4, K: 2, Seed: 7, StartEmpty: true, AuditEvery: 4, Telemetry: reg,
+	})
+	fast := httptest.NewServer(newHandler(pool, 100*time.Millisecond, reg, io.Discard))
+	slow := httptest.NewServer(newHandler(pool, 10*time.Second, reg, io.Discard))
+	t.Cleanup(func() { fast.Close(); slow.Close(); pool.Close() })
+
+	// Park the first apply mid-slot — body decoded, batch routed, commit
+	// pending — until released. A closed release channel lets every later
+	// apply pass straight through.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	pool.SetCommitTestHook(func() {
+		once.Do(func() { close(entered) })
+		<-release
+	})
+
+	const body = `{"client":"loadgen-0","seq":1,"updates":[{"edge":0,"op":"insert","weight":2}]}`
+
+	// First attempt through the short-timeout handler: the apply is held
+	// mid-flight, the TimeoutHandler answers 503, the handler goroutine
+	// is abandoned — still holding the slot.
+	resp, err := fast.Client().Post(fast.URL+"/v1/apply", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("timed-out apply: status %d, want 503", resp.StatusCode)
+	}
+	<-entered
+
+	// Release the slot: the abandoned handler commits anyway — the bug
+	// under test. Wait for the snapshot to advance, like a real client
+	// backing off before its retry.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Totals().Applies == 0 || pool.Query().Step == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned apply never committed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Retry the same (client, seq) through the generous handler: the
+	// batch must NOT apply again.
+	out := doJSON(t, "POST", slow.URL+"/v1/apply", body, 200)
+	if out["duplicate"] != true {
+		t.Fatalf("retry not flagged duplicate: %v", out)
+	}
+	if out["seq"] != float64(1) {
+		t.Fatalf("retry echoed seq %v, want 1", out["seq"])
+	}
+	if got := pool.Totals().Applies; got != 1 {
+		t.Fatalf("batch applied %d times, want exactly once", got)
+	}
+	if !pool.Live(0) {
+		t.Fatalf("the committed insert is not live")
+	}
+
+	// The next sequence from the same client applies normally.
+	out = doJSON(t, "POST", slow.URL+"/v1/apply",
+		`{"client":"loadgen-0","seq":2,"updates":[{"edge":1,"op":"insert","weight":1}]}`, 200)
+	if out["duplicate"] == true {
+		t.Fatalf("fresh sequence flagged duplicate: %v", out)
+	}
+	if got := pool.Totals().Applies; got != 2 {
+		t.Fatalf("Applies %d after seq 2, want 2", got)
+	}
+}

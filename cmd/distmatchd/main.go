@@ -11,6 +11,10 @@
 // The JSON API (all bodies application/json):
 //
 //	POST /v1/apply               {"updates":[{"edge":7,"op":"insert","weight":1.5}]}
+//	                             optional "client"/"seq" make the apply
+//	                             exactly-once: retrying the same (client, seq)
+//	                             after a 503 timeout returns the cached report
+//	                             with "duplicate":true instead of re-applying
 //	GET  /v1/matching            composed matching + degraded/stale/certified flags
 //	GET  /v1/health              200 fresh / 503 degraded, per-shard detail
 //	GET  /v1/stats               lifetime pool counters
@@ -36,9 +40,17 @@
 //	maintainer_apply_ns, maintainer_repair_ns,
 //	maintainer_audit_ns                               per-shard Maintainer latencies (shared series)
 //	pool_apply_ns                                     one pool Apply slot end to end
+//	pool_route_ns, pool_commit_ns, pool_barrier_ns    the slot's three phases: routing critical
+//	                                                  section, concurrent shard commits,
+//	                                                  recompose/audit barrier
+//	pool_apply_queue_depth                            shard commits in flight on the pipelines
+//	pool_epochs_total                                 stop-the-world audit epochs executed
 //	pool_updates_routed_total, pool_updates_crossing_total,
 //	pool_updates_deferred_total                       routing split of incoming updates
 //	pool_crossing_matched_total                       greedy crossing matches made
+//	pool_crossing_scanned_total,
+//	pool_crossing_carried_total                       dirty-worklist resolution: edges examined /
+//	                                                  carried to the next slot
 //	pool_resolver_rounds_total,
 //	pool_resolver_messages_total                      cross-shard communication (audits + repairs)
 //	pool_step, pool_degraded, pool_certified          serving state gauges

@@ -120,9 +120,17 @@ func newDebugHandler(reg *telemetry.Registry) http.Handler {
 }
 
 // applyRequest is the POST /v1/apply body: one batch of edge updates
-// against the slab, applied atomically per shard.
+// against the slab, applied atomically per shard. Client and Seq opt in
+// to exactly-once semantics: a non-empty client id with a batch sequence
+// number routes through Pool.ApplySeq, so a request that times out on
+// the wire (the TimeoutHandler answers 503 while the pool keeps
+// committing) can be retried with the same (client, seq) without
+// double-applying — the retry gets the cached report with "duplicate"
+// set. Each client may have at most one batch outstanding.
 type applyRequest struct {
 	Updates []updateJSON `json:"updates"`
+	Client  string       `json:"client,omitempty"`
+	Seq     uint64       `json:"seq,omitempty"`
 }
 
 type updateJSON struct {
@@ -134,6 +142,8 @@ type updateJSON struct {
 // reportJSON mirrors shard.Report for the wire.
 type reportJSON struct {
 	Step            int      `json:"step"`
+	Seq             uint64   `json:"seq,omitempty"`
+	Duplicate       bool     `json:"duplicate,omitempty"`
 	Routed          int      `json:"routed"`
 	Crossing        int      `json:"crossing"`
 	Deferred        int      `json:"deferred"`
@@ -154,7 +164,8 @@ func toReportJSON(rep shard.Report) reportJSON {
 		hs[i] = h.String()
 	}
 	return reportJSON{
-		Step: rep.Step, Routed: rep.Routed, Crossing: rep.Crossing, Deferred: rep.Deferred,
+		Step: rep.Step, Seq: rep.Seq, Duplicate: rep.Duplicate,
+		Routed: rep.Routed, Crossing: rep.Crossing, Deferred: rep.Deferred,
 		Killed: rep.Killed, Restarted: rep.Restarted, Crashed: rep.Crashed,
 		Healths: hs, Down: rep.Down,
 		Audited: rep.Audited, CertificateOK: rep.CertificateOK,
@@ -190,6 +201,10 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		batch = append(batch, dynamic.Update{Edge: u.Edge, Op: op, Weight: u.Weight})
+	}
+	if req.Client != "" {
+		writeJSON(w, http.StatusOK, toReportJSON(s.pool.ApplySeq(req.Client, req.Seq, batch)))
+		return
 	}
 	writeJSON(w, http.StatusOK, toReportJSON(s.pool.Apply(batch)))
 }
@@ -270,7 +285,11 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // plus a live per-shard status block, so one scrape answers both "what
 // has this pool done" and "what state is it in right now".
 type statsResponse struct {
-	Totals    shard.Stats   `json:"totals"`
+	Totals shard.Stats `json:"totals"`
+	// Nodes and Edges are the slab dimensions — what a load generator
+	// needs to synthesize valid updates without shipping the graph.
+	Nodes     int           `json:"nodes"`
+	Edges     int           `json:"edges"`
 	Step      int           `json:"step"`
 	Degraded  bool          `json:"degraded"`
 	Certified bool          `json:"certified"`
@@ -281,7 +300,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	q := s.pool.Query()
 	resp := statsResponse{
 		Totals: s.pool.Totals(),
-		Step:   q.Step, Degraded: q.Degraded, Certified: q.Certified,
+		Nodes:  s.pool.Graph().N(), Edges: s.pool.Graph().M(),
+		Step: q.Step, Degraded: q.Degraded, Certified: q.Certified,
 	}
 	for id, sh := range s.pool.Status() {
 		resp.Shards = append(resp.Shards, shardStatus{

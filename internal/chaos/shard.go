@@ -44,6 +44,12 @@ type ShardConfig struct {
 	// Workers and Backend configure every underlying engine.
 	Workers int
 	Backend dist.Backend
+	// Serial runs the pool's single-threaded write path (inline shard
+	// commits, full recompose rescans) instead of the per-shard commit
+	// pipelines. Schedules must replay bit-identically either way — the
+	// pipeline determinism contract, pinned at chaos scale by
+	// TestShardChaosSerialBitIdentical.
+	Serial bool
 }
 
 func (c ShardConfig) withDefaults() ShardConfig {
@@ -130,7 +136,7 @@ func RunShards(cfg ShardConfig) (*ShardResult, error) {
 	p := shard.New(g, shard.Options{
 		Shards: cfg.Shards, K: cfg.K, Seed: cfg.Seed + 1,
 		StartEmpty: true, AuditEvery: 4,
-		Workers: cfg.Workers, Backend: cfg.Backend,
+		Workers: cfg.Workers, Backend: cfg.Backend, Serial: cfg.Serial,
 		Telemetry: reg,
 	})
 	defer p.Close()

@@ -97,6 +97,30 @@ func TestShardChaosEventTrace(t *testing.T) {
 	t.Fatal("no schedule in the sample killed a shard; widen the sample")
 }
 
+// TestShardChaosSerialBitIdentical replays shard schedules with the
+// pool's per-shard commit pipelines disabled (Serial: inline commits and
+// full recompose rescans — the pre-pipeline write path) and demands the
+// full ShardResult, event trace included, stay bit-identical to the
+// pipelined run: the chaos-scale differential oracle for the PR-10
+// pipeline rewrite.
+func TestShardChaosSerialBitIdentical(t *testing.T) {
+	seeds, _ := chaosSeeds(t, 8)
+	for _, seed := range seeds {
+		base, err := RunShards(ShardConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := RunShards(ShardConfig{Seed: seed, Serial: true})
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("seed %d: serial diverges from pipelined\npipelined %+v\nserial    %+v",
+				seed, base, got)
+		}
+	}
+}
+
 // TestShardChaosBackendsBitIdentical replays shard schedules on both
 // engine backends and on extra workers: the full ShardResult —
 // slot-by-slot history included — must be bit-identical.

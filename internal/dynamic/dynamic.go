@@ -255,6 +255,14 @@ type ApplyReport struct {
 	RecoveryLevel int
 	// Health is the Maintainer's serving state after this Apply.
 	Health Health
+	// Changed reports that the matching this Maintainer serves may differ
+	// from what it served before the Apply: a repair or recompute ran, a
+	// matched edge was deleted, a fault was scrubbed, or the serving
+	// source flipped between the maintained matching and the last-good
+	// snapshot. False is a guarantee — Matching() returns a snapshot
+	// equal to the pre-Apply one — which is what lets the sharded pool
+	// skip recomposing clean shards. Deterministic: replays identically.
+	Changed bool
 }
 
 // Totals aggregates a Maintainer's lifetime costs, the numbers experiment

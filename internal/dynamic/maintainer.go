@@ -89,6 +89,13 @@ type Maintainer struct {
 	auditIn       int
 	curAudit      int
 
+	// gen counts served-matching generations: every mutation that can
+	// change what Matching() returns — a repair or recompute, a matched-
+	// edge delete scrub, a fault scrub, an adoption, or a health flip
+	// that switches the serving source — bumps it. Apply/Audit diff it
+	// across the call to derive ApplyReport.Changed.
+	gen uint64
+
 	runCtr uint64
 	totals Totals
 
@@ -247,6 +254,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 		t0 = time.Now()
 	}
 	pre := mt.health
+	preGen := mt.gen
 	mt.totals.Applies++
 	var rep ApplyReport
 
@@ -279,6 +287,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 				x, y := mt.g.Endpoints(u.Edge)
 				if mt.matchedEdge[x] == int32(u.Edge) {
 					mt.matchedEdge[x], mt.matchedEdge[y] = -1, -1
+					mt.gen++
 				}
 				if mt.lastGood != nil && mt.lastGood[x] == int32(u.Edge) {
 					// The served snapshot must stay valid on the surviving
@@ -287,6 +296,7 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 					// lies).
 					mt.lastGood[x], mt.lastGood[y] = -1, -1
 					mt.cachedGood.Store(nil)
+					mt.gen++
 				}
 				mt.markDirty(u.Edge, -1)
 			}
@@ -308,8 +318,12 @@ func (mt *Maintainer) Apply(b Batch) ApplyReport {
 	}
 	rep.Health = mt.health
 	if mt.health != pre {
+		// A health flip can switch the serving source (own matching vs
+		// last-good snapshot): count it as a served-matching change.
+		mt.gen++
 		mt.emit(telemetry.EventHealth, int64(pre), int64(mt.health))
 	}
+	rep.Changed = mt.gen != preGen
 	if mt.tel.applyNS != nil {
 		mt.tel.applyNS.ObserveSince(t0)
 	}
@@ -388,6 +402,7 @@ func (mt *Maintainer) Recompute() ApplyReport {
 	defer mt.mu.Unlock()
 	var rep ApplyReport
 	mt.repairFull(true, &rep)
+	rep.Changed = true
 	return rep
 }
 
@@ -400,11 +415,14 @@ func (mt *Maintainer) Audit() ApplyReport {
 	defer mt.mu.Unlock()
 	var rep ApplyReport
 	pre := mt.health
+	preGen := mt.gen
 	mt.runAudit(&rep)
 	rep.Health = mt.health
 	if mt.health != pre {
+		mt.gen++
 		mt.emit(telemetry.EventHealth, int64(pre), int64(mt.health))
 	}
+	rep.Changed = mt.gen != preGen
 	return rep
 }
 
@@ -553,6 +571,7 @@ func (mt *Maintainer) adoptLocked(matched []int32) {
 	pre := mt.health
 	copy(mt.matchedEdge, matched)
 	mt.cached.Store(nil)
+	mt.gen++
 	if mt.lastGood == nil {
 		mt.lastGood = make([]int32, mt.g.N())
 	}
@@ -687,6 +706,7 @@ func (mt *Maintainer) repair(region []bool, regionNodes int, rep *ApplyReport) {
 		mt.tel.repairNS.ObserveSince(t0)
 	}
 	mt.cached.Store(nil)
+	mt.gen++
 	nodes := mt.g.N()
 	if region != nil {
 		nodes = regionNodes
@@ -746,6 +766,7 @@ func (mt *Maintainer) attempt(rep *ApplyReport, step func()) bool {
 	mt.totals.Faults++
 	mt.health = Degraded
 	mt.cached.Store(nil)
+	mt.gen++
 	mt.scrub()
 	return false
 }

@@ -6,6 +6,52 @@ import (
 	"distmatch/internal/telemetry"
 )
 
+// markCross queues one crossing edge for the next resolution pass
+// (deduplicated). No-op in Serial mode, where every recompose scans the
+// whole crossing set anyway.
+func (p *Pool) markCross(e int32) {
+	if p.crossMark == nil || p.crossMark[e] {
+		return
+	}
+	p.crossMark[e] = true
+	p.crossDirty = append(p.crossDirty, e)
+}
+
+// markNodeCross queues every crossing edge incident to v — called when
+// v's matched/free state changes, since that is the only way v can
+// block or unblock a crossing match.
+func (p *Pool) markNodeCross(v int) {
+	if p.crossMark == nil {
+		return
+	}
+	for _, e := range p.nodeCross[v] {
+		p.markCross(e)
+	}
+}
+
+// markAllCross queues the entire crossing set — the reset after a
+// conflict repair rewrites the composed matching wholesale (what the
+// serial full scan re-examines on its next slot anyway).
+func (p *Pool) markAllCross() {
+	for _, ce := range p.crossing {
+		p.markCross(ce)
+	}
+}
+
+// recountCrossing recomputes the fully-claimed crossing-edge count by
+// scan — used only after a conflict repair, where the incremental
+// counter's provenance is gone.
+func (p *Pool) recountCrossing() {
+	n := 0
+	for _, ce := range p.crossing {
+		x, _ := p.g.Endpoints(int(ce))
+		if p.gmatch[x] == ce {
+			n++
+		}
+	}
+	p.crossMatched = n
+}
+
 // recompose rebuilds the composed matching from what each up shard is
 // currently serving, then resolves the crossing edges. Shard matchings
 // are authoritative on their internal edges — a Degraded shard
@@ -18,21 +64,57 @@ import (
 // after a certified conflict repair it is provably a no-op; between
 // audits it is the cheap always-on resolution that keeps the composed
 // answer valid and never silently empty.
+//
+// In pipelined mode both halves are incremental: only shards whose
+// served matching may have changed (ApplyReport.Changed, a rebuild, an
+// adopt push-back) are rescanned, and the greedy pass walks the dirty
+// crossing set instead of every crossing edge — amortizing resolution
+// across slots while staying bit-identical to the serial full scans
+// (TestPoolSerialPipelinedEquivalent). rep == nil is the initial full
+// compose in New.
 func (p *Pool) recompose(rep *Report) {
+	full := rep == nil || p.opts.Serial
 	for _, slot := range p.shards {
-		if !slot.up {
+		if !slot.up || (!full && !slot.dirty) {
 			continue
 		}
+		slot.dirty = false
 		m := slot.mt.Matching() // what the shard serves: own or last-good
 		for lv, gv := range slot.nodes {
-			if ge := p.gmatch[gv]; ge >= 0 && p.edgeShard[ge] == int32(slot.id) {
-				p.gmatch[gv] = -1
+			old := p.gmatch[gv]
+			nw := old
+			if old >= 0 && p.edgeShard[old] == int32(slot.id) {
+				nw = -1
 			}
 			if le := m.MatchedEdge(lv); le >= 0 {
-				p.gmatch[gv] = slot.edges[le]
+				nw = slot.edges[le]
 			}
+			if nw == old {
+				continue
+			}
+			if old >= 0 && p.edgeShard[old] < 0 {
+				// The shard claimed gv internally, abandoning a crossing
+				// match half-claimed: account the fully→half transition
+				// here (once — the other owner may rescan too) and let the
+				// dirty pass dissolve the remaining half.
+				if oz := p.g.Other(int(old), int(gv)); p.gmatch[oz] == old {
+					p.crossMatched--
+				}
+			}
+			p.gmatch[gv] = nw
+			p.markNodeCross(int(gv))
 		}
 	}
+	if full {
+		p.recomposeCrossingFull(rep)
+	} else {
+		p.resolveCrossing(rep)
+	}
+}
+
+// recomposeCrossingFull is the serial-mode (and initial-compose)
+// crossing resolution: one ascending scan over every crossing edge.
+func (p *Pool) recomposeCrossingFull(rep *Report) {
 	crossingMatched, newMatches := 0, 0
 	for _, ce := range p.crossing {
 		x, y := p.g.Endpoints(int(ce))
@@ -57,9 +139,88 @@ func (p *Pool) recompose(rep *Report) {
 			crossingMatched++
 		}
 	}
+	p.crossMatched = crossingMatched
 	if rep != nil {
 		rep.CrossingMatched = crossingMatched
 	}
+	p.emitCrossing(rep, newMatches)
+}
+
+// resolveCrossing is the pipelined-mode crossing resolution: it
+// processes only the dirty set, in ascending edge id off a min-heap, and
+// reproduces the full scan's per-slot semantics exactly. The invariant
+// that makes skipping sound: a crossing edge the full scan would act on
+// has had a liveness change or an endpoint state change since it was
+// last processed, and every such change marks it. A node freed mid-pass
+// (a dissolve) re-queues its crossing edges — later-id ones into this
+// slot's heap (the ascending scan has not reached them yet), earlier-id
+// ones into the next slot's set, which is exactly the slot the per-slot
+// full scan would first see them free.
+func (p *Pool) resolveCrossing(rep *Report) {
+	h := p.crossHeap[:0]
+	for _, e := range p.crossDirty {
+		h = heapPush(h, e) // marks stay set while queued
+	}
+	p.crossDirty = p.crossDirty[:0]
+	newMatches, scanned := 0, 0
+	for len(h) > 0 {
+		var e int32
+		h, e = heapPop(h)
+		scanned++
+		p.crossMark[e] = false
+		x, y := p.g.Endpoints(int(e))
+		claimed := p.gmatch[x] == e || p.gmatch[y] == e
+		if claimed && (!p.live[e] || p.gmatch[x] != e || p.gmatch[y] != e) {
+			if p.gmatch[x] == e && p.gmatch[y] == e {
+				p.crossMatched--
+			}
+			if p.gmatch[x] == e {
+				p.gmatch[x] = -1
+				h = p.pushFreed(h, x, e)
+			}
+			if p.gmatch[y] == e {
+				p.gmatch[y] = -1
+				h = p.pushFreed(h, y, e)
+			}
+			claimed = false
+		}
+		if !claimed && p.live[e] && p.gmatch[x] < 0 && p.gmatch[y] < 0 {
+			p.gmatch[x], p.gmatch[y] = e, e
+			p.crossMatched++
+			p.totals.CrossingMatched++
+			newMatches++
+		}
+	}
+	p.crossHeap = h[:0]
+	if p.tel != nil {
+		p.tel.crossingScanned.Add(int64(scanned))
+		p.tel.crossingCarried.Add(int64(len(p.crossDirty)))
+	}
+	if rep != nil {
+		rep.CrossingMatched = p.crossMatched
+	}
+	p.emitCrossing(rep, newMatches)
+}
+
+// pushFreed re-queues the crossing edges of node v, freed while the
+// pass stood at edge cur: ids past cur join this slot's heap, ids
+// before it carry to the next slot (see resolveCrossing).
+func (p *Pool) pushFreed(h []int32, v int, cur int32) []int32 {
+	for _, f := range p.nodeCross[v] {
+		if f == cur || p.crossMark[f] {
+			continue
+		}
+		if f > cur {
+			p.crossMark[f] = true
+			h = heapPush(h, f)
+		} else {
+			p.markCross(f)
+		}
+	}
+	return h
+}
+
+func (p *Pool) emitCrossing(rep *Report, newMatches int) {
 	if p.tel != nil && newMatches > 0 {
 		p.tel.crossingMatched.Add(int64(newMatches))
 		if rep != nil {
@@ -68,13 +229,61 @@ func (p *Pool) recompose(rep *Report) {
 	}
 }
 
+// heapPush and heapPop are a minimal int32 min-heap on a slice — the
+// dirty-crossing worklist is usually a handful of edges, so interface
+// dispatch via container/heap is not worth it.
+func heapPush(h []int32, e int32) []int32 {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []int32) ([]int32, int32) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
+}
+
 // maybeAudit runs the pool conflict audit when the periodic countdown
-// expires — and, like the Maintainer's forced audit while Recovering,
-// whenever the pool is uncertified with no shard down or Degraded, so
-// the first quiet Apply after a disruption re-certifies. Audits are
-// suppressed while the pool is degraded: repairing against a shard's
-// last-good snapshot would only be reverted by the next recompose, and
-// the certified (1−1/K) claim is an all-shards-serving claim anyway.
+// expires — and forces one on the first all-serving Apply after a
+// degraded stretch (a shard down or Degraded), so disruptions re-certify
+// as soon as every shard serves again. It does NOT force an audit merely
+// because the pool is uncertified: routing clears certified on every
+// liveness change, so that policy — the PR-8 write path's audit-every-
+// churn-slot bug — made the full-graph Berge probe run on essentially
+// every Apply and was the dominant cost of the slot (~70% in profiles).
+// Between cadence points the pool serves valid-but-uncertified answers,
+// which is the documented contract ("certified at audited points").
+// Audits are suppressed while the pool is degraded: repairing against a
+// shard's last-good snapshot would only be reverted by the next
+// recompose, and the certified (1−1/K) claim is an all-shards-serving
+// claim anyway.
 func (p *Pool) maybeAudit(rep *Report) {
 	due := false
 	if p.opts.AuditEvery > 0 {
@@ -85,11 +294,13 @@ func (p *Pool) maybeAudit(rep *Report) {
 		}
 	}
 	if p.degradedLocked() {
+		p.wasDegraded = true
 		return
 	}
-	if !p.certified {
+	if p.wasDegraded && !p.certified {
 		due = true
 	}
+	p.wasDegraded = false
 	if due {
 		p.runAudit(rep)
 	}
@@ -97,18 +308,22 @@ func (p *Pool) maybeAudit(rep *Report) {
 
 // Audit forces a conflict audit now (the report carries the outcome).
 // Like the periodic audit it requires an undegraded pool — no shard
-// down or Degraded; otherwise it reports unaudited.
+// down or Degraded; otherwise it reports unaudited. Panics ErrClosed on
+// a closed pool.
 func (p *Pool) Audit() Report {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if p.closed.Load() {
+		panic(ErrClosed)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		panic("shard: Audit on a closed Pool")
-	}
 	var rep Report
 	rep.Step = p.step
 	if !p.degradedLocked() {
 		p.runAudit(&rep)
-		p.cached.Store(nil)
+		p.wasDegraded = false
+		p.publishLocked()
 	}
 	rep.Healths, rep.Down = p.healthsLocked()
 	rep.Degraded = p.degradedLocked()
@@ -116,8 +331,10 @@ func (p *Pool) Audit() Report {
 	return rep
 }
 
-// runAudit Berge-probes the composed matching over the full live graph.
-// A failed certificate means short augmenting paths cross shard
+// runAudit Berge-probes the composed matching over the full live graph —
+// the pool's stop-the-world epoch: it runs inside the barrier with the
+// mirror lock held, the one phase concurrent commits genuinely wait
+// behind. A failed certificate means short augmenting paths cross shard
 // boundaries — per-shard maintenance can never see them — and triggers
 // the bounded conflict-resolution pass: one warm full repair of the
 // composed matching (the pool's entire cross-shard communication cost,
@@ -128,6 +345,9 @@ func (p *Pool) runAudit(rep *Report) {
 	probe := 2*p.opts.K - 1
 	rep.Audited = true
 	p.totals.Audits++
+	if p.tel != nil {
+		p.tel.epochs.Add(1)
+	}
 	// The pool audit event carries runAudit's whole resolver cost —
 	// probes plus any conflict repair, i.e. the slot's entire cross-shard
 	// communication bill. Engine costs are deterministic, so the record
@@ -156,6 +376,11 @@ func (p *Pool) runAudit(rep *Report) {
 	before := p.shardRestrictions()
 	st = p.repairer.Repair(p.nextSeed(), nil)
 	p.addCost(st)
+	// The repair rewrote the composed matching wholesale: restore the
+	// crossing counter by scan and re-examine the whole crossing set on
+	// the next slot — exactly what the serial full scan does anyway.
+	p.recountCrossing()
+	p.markAllCross()
 	r, st = p.probe(probe)
 	p.totals.Audits++
 	p.addCost(st)
@@ -203,7 +428,8 @@ func (p *Pool) restrictionOf(slot *shardSlot) []int32 {
 // repair changed. A restriction of a valid composed matching is always
 // a consistent local matching on the shard's live sub-slab, so Adopt
 // cannot fail; the shard serves it immediately and re-certifies through
-// its own forced audit on the next Apply.
+// its own forced audit on the next Apply. Adopted shards are marked for
+// rescan — their served matching just changed under the pool.
 func (p *Pool) adoptBack(before [][]int32, step int) {
 	for s, slot := range p.shards {
 		if !slot.up || before[s] == nil {
@@ -216,6 +442,7 @@ func (p *Pool) adoptBack(before [][]int32, step int) {
 		if err := slot.mt.Adopt(after); err != nil {
 			panic("shard: push-back of a repaired restriction failed: " + err.Error())
 		}
+		slot.dirty = true
 		if h := slot.mt.Health(); h != slot.health {
 			p.emit(step, telemetry.EventHealth, int32(s), int64(slot.health), int64(h))
 			slot.health = h

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,12 @@ import (
 	"distmatch/internal/rng"
 	"distmatch/internal/telemetry"
 )
+
+// ErrClosed is the unified closed-pool failure: mutators and queries
+// that cannot run on a closed Pool panic with it (Apply, ApplySeq,
+// Audit, Matching, Query) or return it (KillShard, RestartShard,
+// InjectShardFaults). Close itself is idempotent.
+var ErrClosed = errors.New("shard: pool closed")
 
 // Options configures a Pool.
 type Options struct {
@@ -28,8 +35,9 @@ type Options struct {
 	// AuditEvery runs the pool's conflict audit (Berge probe over the
 	// composed matching) every that many Applies while every shard is
 	// Healthy; an audit is also forced on the Apply where the pool
-	// returns to all-Healthy uncertified, and on demand via Audit.
-	// 0 means the default 8; negative disables periodic audits.
+	// returns to all-Healthy uncertified after a disruption, and on
+	// demand via Audit. 0 means the default 8; negative disables
+	// periodic audits.
 	AuditEvery int
 	// ShardAuditEvery is passed to each Maintainer as its own audit
 	// cadence (0 = the dynamic default).
@@ -45,19 +53,28 @@ type Options struct {
 	MaxRetries int
 	// StartEmpty begins with every edge of the slab dead.
 	StartEmpty bool
+	// Serial disables the per-shard commit pipelines and the dirty-set
+	// bookkeeping: shard applies run inline in ascending shard order and
+	// every recompose rescans every up shard and every crossing edge —
+	// the PR-8/9 write path. Reports, matchings and traces are pinned
+	// bit-identical to the pipelined mode (TestPoolSerialPipelined-
+	// Equivalent); Serial exists as that differential oracle and as the
+	// single-threaded baseline the serving benchmarks compare against.
+	Serial bool
 	// Workers and Backend configure every underlying engine.
 	Workers int
 	Backend dist.Backend
 	// Telemetry, when set, registers the pool's metric handles — per-shard
 	// up/health/backoff/restart gauges, routing and resolver counters, the
-	// pool_apply_ns histogram — and makes the registry's event ring the
-	// pool's structured trace. Shard Maintainers share the registry's
-	// latency histograms (atomic, order-independent) but never its ring:
-	// the pool derives every shard event itself in its serialized
-	// write-locked phases, in shard order, from the captured per-shard
-	// ApplyReports — parallel shard applies would otherwise interleave the
-	// trace nondeterministically. Events carry the Apply slot, never wall
-	// time, so seeded chaos schedules replay with bit-identical traces.
+	// pool_apply_ns and per-phase histograms — and makes the registry's
+	// event ring the pool's structured trace. Shard Maintainers share the
+	// registry's latency histograms (atomic, order-independent) but never
+	// its ring: the pool derives every shard event itself in its
+	// serialized barrier phase, in shard order, from the captured
+	// per-shard ApplyReports — parallel shard applies would otherwise
+	// interleave the trace nondeterministically. Events carry the Apply
+	// slot, never wall time, so seeded chaos schedules replay with
+	// bit-identical traces.
 	Telemetry *telemetry.Registry
 }
 
@@ -87,6 +104,12 @@ func (o Options) withDefaults() Options {
 type Report struct {
 	// Step is this Apply's slot (0-based).
 	Step int
+	// Seq echoes the client batch sequence number of an ApplySeq call
+	// (0 for plain Apply); Duplicate reports that the sequence was
+	// already committed and this Report is the cached original — the
+	// batch was NOT applied again.
+	Seq       uint64
+	Duplicate bool
 	// Routed, Crossing and Deferred count the batch's updates by fate:
 	// routed to an up shard's local batch, touching a pool-owned
 	// crossing edge, or owned by a down shard (mirror-only until its
@@ -163,7 +186,7 @@ type Stats struct {
 }
 
 // shardSlot is one shard's supervisor state. All fields are guarded by
-// the Pool's write lock.
+// the Pool's mirror lock p.mu (and only ever mutated under applyMu).
 type shardSlot struct {
 	id    int
 	nodes []int32 // owned nodes, ascending global id; local id = index
@@ -179,16 +202,59 @@ type shardSlot struct {
 	wakeAt    int // auto-restart slot while down
 	rebuiltAt int // step of the last rebuild (-1 = never)
 
+	dirty bool          // served matching may have changed: recompose must rescan
 	batch dynamic.Batch // per-Apply routing buffer, reused
+	work  chan shardJob // commit pipeline feed (nil in Serial mode)
+}
+
+// shardJob is one shard's share of an Apply slot, dispatched to its
+// commit pipeline. Results land in caller-owned slots (rep, crashed) and
+// completion signals through wg — the channel send is the happens-before
+// edge for the batch, the wg.Wait the one for the results.
+type shardJob struct {
+	mt      *dynamic.Maintainer
+	batch   dynamic.Batch
+	rep     *dynamic.ApplyReport
+	crashed *bool
+	wg      *sync.WaitGroup
+}
+
+// clientRec is the idempotency record of one ApplySeq client: the last
+// committed sequence number and its Report, served back on retries.
+type clientRec struct {
+	seq uint64
+	rep Report
+}
+
+// poolSnap is the atomically-published read snapshot: the last composed
+// matching plus the serving flags it was composed under. Readers load it
+// with no locks and never wait on an in-flight slot or audit; every
+// field is immutable once published.
+type poolSnap struct {
+	matching  *graph.Matching
+	step      int
+	certified bool
+	degraded  bool
+	healths   []dynamic.Health
+	downMask  []bool
+	down      []int
+	stale     []int
 }
 
 // Pool is the sharded serving layer: S independent Maintainers behind
-// one Apply/Query surface, supervised for failover. Mutators (Apply,
-// KillShard, RestartShard, InjectShardFaults, Audit, Close) serialize on
-// a write lock; the read surface (Matching, Query, Status, Totals,
-// Shards, Owner, EdgeShard, Live) takes the corresponding read lock, so
-// queries stay safe — and merely briefly blocked, never broken — while
-// an Apply or a rebuild runs.
+// one Apply/Query surface, supervised for failover.
+//
+// Concurrency model (DESIGN.md §8): mutators (Apply, ApplySeq, Audit,
+// KillShard, RestartShard, InjectShardFaults, SetKillPlan, Close)
+// serialize on the slot lock applyMu — slot numbering, supervisor
+// actions and the event trace stay strictly ordered. Within a slot,
+// Apply holds the mirror lock p.mu only for its two short serialized
+// phases (route, and the recompose/audit barrier); the commit phase in
+// between runs every shard's local apply concurrently on per-shard
+// pipeline goroutines with no pool-wide lock held. Matching and Query
+// read an atomic snapshot published at the end of each barrier and
+// never block; Status, Totals, Healths and Live read the mirror under
+// p.mu's read lock. Lock order is applyMu → p.mu.
 type Pool struct {
 	g    *graph.Graph
 	opts Options
@@ -198,6 +264,17 @@ type Pool struct {
 	edgeShard []int32 // owning shard per edge; -1 = crossing
 	localEdge []int32 // local edge id (internal edges; -1 for crossing)
 	crossing  []int32 // crossing edge ids, ascending
+
+	// Dirty-crossing bookkeeping (pipelined mode): nodeCross lists each
+	// node's incident crossing edges (ascending); crossMark/crossDirty
+	// are the pending dirty set the next resolution pass consumes;
+	// crossHeap is its scratch min-heap; crossMatched counts the
+	// crossing edges currently in the composed matching.
+	nodeCross    [][]int32
+	crossMark    []bool
+	crossDirty   []int32
+	crossHeap    []int32
+	crossMatched int
 
 	shards []*shardSlot
 
@@ -209,9 +286,10 @@ type Pool struct {
 	repairer *core.BipartiteRepairer
 	gmatch   []int32
 
-	step      int
-	auditIn   int
-	certified bool
+	step        int
+	auditIn     int
+	certified   bool
+	wasDegraded bool // a prior slot was degraded: force re-certification once serving resumes
 
 	killPlan *KillPlan
 	killIdx  int
@@ -222,10 +300,27 @@ type Pool struct {
 	totals   Stats
 	tel      *poolTel // nil when Options.Telemetry is unset
 
-	mu     sync.RWMutex
-	cached atomic.Pointer[graph.Matching]
-	closed bool
+	// applyMu is the slot lock (see the type comment); mu guards the
+	// mirror and supervisor state; snap is the lock-free read surface.
+	applyMu sync.Mutex
+	mu      sync.RWMutex
+	snap    atomic.Pointer[poolSnap]
+	closed  atomic.Bool
+
+	clients map[string]*clientRec // ApplySeq idempotency records, guarded by applyMu
+
+	// testHookCommit, when set (tests only), runs between the routing
+	// phase and the commit barrier — with no pool lock held — so tests
+	// can hold a slot mid-flight and probe the read surface.
+	testHookCommit func()
 }
+
+// SetCommitTestHook installs f (nil to remove) to run between an Apply's
+// routing phase and its commit barrier, with no pool-wide lock held: the
+// seam tests use to park a slot mid-flight — probing the lock-free read
+// surface, or forcing an HTTP timeout to fire while the commit is still
+// running. Testing only; install and remove it with no applies in flight.
+func (p *Pool) SetCommitTestHook(f func()) { p.testHookCommit = f }
 
 // New builds a Pool over the bipartite slab g. Like the Maintainer, the
 // slab fixes the node set and the universe of possible edges; liveness
@@ -248,6 +343,7 @@ func New(g *graph.Graph, opts Options) *Pool {
 		gmatch:    make([]int32, g.N()),
 		resolver:  dist.NewRunner(g, dist.Config{Workers: opts.Workers, Backend: opts.Backend}),
 		seedBase:  rng.ForkSeed(opts.Seed, 0x9e3779b97f4a7c15),
+		clients:   make(map[string]*clientRec),
 	}
 	for v := range p.gmatch {
 		p.gmatch[v] = -1
@@ -279,6 +375,7 @@ func New(g *graph.Graph, opts Options) *Pool {
 	if !opts.StartEmpty {
 		p.recompose(nil)
 	}
+	p.publishLocked()
 	p.updateGauges()
 	return p
 }
@@ -342,6 +439,39 @@ func (p *Pool) partition() {
 		}
 		slot.sub = b.MustBuild()
 	}
+	if !p.opts.Serial {
+		p.nodeCross = make([][]int32, p.g.N())
+		p.crossMark = make([]bool, p.g.M())
+		for _, ce := range p.crossing {
+			x, y := p.g.Endpoints(int(ce))
+			p.nodeCross[x] = append(p.nodeCross[x], ce)
+			p.nodeCross[y] = append(p.nodeCross[y], ce)
+		}
+		for _, slot := range p.shards {
+			slot.work = make(chan shardJob)
+			go commitLoop(slot.work)
+		}
+	}
+}
+
+// commitLoop is one shard's commit pipeline: it applies the shard's
+// share of each slot off the pool's hot path and survives shard crashes
+// (the recover marks the slot lost; the supervisor rebuilds the
+// Maintainer, the goroutine and its queue persist for the next one).
+func commitLoop(work <-chan shardJob) {
+	for job := range work {
+		runJob(job)
+	}
+}
+
+func runJob(job shardJob) {
+	defer job.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			*job.crashed = true
+		}
+	}()
+	*job.rep = job.mt.Apply(job.batch)
 }
 
 // spawn builds a fresh Maintainer for the slot with a seed forked from
@@ -369,41 +499,102 @@ func (p *Pool) spawn(slot *shardSlot, startEmpty bool) {
 }
 
 // Apply routes one batch of global-slab edge updates through the pool:
-// supervisor events (scheduled kills, due restarts) first, then routing,
-// parallel shard applies, health supervision, recomposition and — when
-// due — the conflict audit. Apply is atomic per shard: each shard sees
-// its restriction of the batch, in batch order, as one local Apply.
+// supervisor events (scheduled kills, due restarts) and routing under
+// the mirror lock, concurrent per-shard commits with no pool-wide lock,
+// then the serialized barrier — health supervision, recomposition and,
+// when due, the conflict audit — which publishes the read snapshot.
+// Apply is atomic per shard: each shard sees its restriction of the
+// batch, in batch order, as one local Apply. Panics ErrClosed on a
+// closed pool.
 func (p *Pool) Apply(b dynamic.Batch) Report {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		panic("shard: Apply on a closed Pool")
+	return p.apply("", 0, b)
+}
+
+// ApplySeq is Apply with exactly-once semantics per client: seq is the
+// client's batch sequence number, echoed in Report.Seq. A sequence at or
+// below the client's last committed one is NOT re-applied — the cached
+// Report of the last commit returns with Duplicate set — so a client
+// that times out mid-request can retry the same (client, seq) without
+// double-applying. Each client may have at most one batch outstanding:
+// retries must reuse the sequence number of the unacknowledged batch.
+func (p *Pool) ApplySeq(client string, seq uint64, b dynamic.Batch) Report {
+	return p.apply(client, seq, b)
+}
+
+func (p *Pool) apply(client string, seq uint64, b dynamic.Batch) Report {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if p.closed.Load() {
+		panic(ErrClosed)
 	}
-	var t0 time.Time
+	if client != "" {
+		if rec, ok := p.clients[client]; ok && seq <= rec.seq {
+			rep := rec.rep
+			rep.Duplicate = true
+			return rep
+		}
+	}
+	var t0, t1 time.Time
 	if p.tel != nil {
 		t0 = time.Now()
 	}
+
+	// Phase 1 — routing critical section: slot bookkeeping, supervisor
+	// events, mirror update and the batch split, under the mirror lock.
+	p.mu.Lock()
 	step := p.step
 	p.step++
 	p.totals.Applies++
-	rep := Report{Step: step}
-
+	rep := Report{Step: step, Seq: seq}
 	p.supervise(step, &rep)
 	p.route(b, &rep)
-	crashed, reps := p.applyShards(&rep)
+	jobs := 0
+	for _, slot := range p.shards {
+		if slot.up {
+			jobs++
+		}
+	}
+	p.mu.Unlock()
+	if p.tel != nil {
+		t1 = time.Now()
+		p.tel.routeNS.Observe(t1.Sub(t0).Nanoseconds())
+	}
+	if p.testHookCommit != nil {
+		p.testHookCommit()
+	}
+
+	// Phase 2 — concurrent commits: every up shard applies its local
+	// batch with no pool-wide lock held. applyMu keeps the slots (and
+	// every other mutator) out; readers see the previous snapshot.
+	crashed, reps := p.commitShards(jobs)
+	if p.tel != nil {
+		t2 := time.Now()
+		p.tel.commitNS.Observe(t2.Sub(t1).Nanoseconds())
+		t1 = t2
+	}
+
+	// Phase 3 — the barrier: serialized observation in shard order
+	// (events replay deterministically), incremental recompose, the
+	// conflict audit when due, and the snapshot publish.
+	p.mu.Lock()
 	p.observeHealth(crashed, reps, step, &rep)
 	p.recompose(&rep)
 	p.maybeAudit(&rep)
-
 	rep.Healths, rep.Down = p.healthsLocked()
 	rep.Degraded = p.degradedLocked()
-	p.cached.Store(nil)
+	p.publishLocked()
 	if p.tel != nil {
 		p.tel.routed.Add(int64(rep.Routed))
 		p.tel.crossing.Add(int64(rep.Crossing))
 		p.tel.deferred.Add(int64(rep.Deferred))
 		p.updateGauges()
+		p.tel.barrierNS.ObserveSince(t1)
 		p.tel.applyNS.ObserveSince(t0)
+	}
+	p.mu.Unlock()
+
+	if client != "" {
+		p.clients[client] = &clientRec{seq: seq, rep: rep}
 	}
 	return rep
 }
@@ -411,7 +602,9 @@ func (p *Pool) Apply(b dynamic.Batch) Report {
 // route validates the batch, applies every update to the pool's
 // authoritative mirror (liveness, resolver weights, composed-matching
 // scrub on deletes) and appends the shard-owned updates to their up
-// shard's local batch, in order.
+// shard's local batch, in order. Liveness changes and freed endpoints
+// mark the affected crossing edges dirty for this slot's resolution
+// pass.
 func (p *Pool) route(b dynamic.Batch, rep *Report) {
 	for _, u := range b {
 		if u.Edge < 0 || u.Edge >= p.g.M() {
@@ -435,18 +628,30 @@ func (p *Pool) route(b dynamic.Batch, rep *Report) {
 				p.live[e] = true
 				p.resolver.SetEdgeLive(e, true)
 				p.certified = false
+				if p.edgeShard[e] < 0 {
+					p.markCross(int32(e))
+				}
 			}
 		case dynamic.Delete:
 			if p.live[e] {
 				p.live[e] = false
 				p.resolver.SetEdgeLive(e, false)
 				p.certified = false
+				if p.edgeShard[e] < 0 {
+					p.markCross(int32(e))
+				}
 				x, y := p.g.Endpoints(e)
 				if p.gmatch[x] == int32(e) {
 					// The composed matching must stay valid on the
 					// surviving live subgraph even when the owner is down:
-					// a deleted edge leaves it immediately.
+					// a deleted edge leaves it immediately. The endpoints
+					// it frees may unlock crossing matches.
+					if p.edgeShard[e] < 0 {
+						p.crossMatched--
+					}
 					p.gmatch[x], p.gmatch[y] = -1, -1
+					p.markNodeCross(x)
+					p.markNodeCross(y)
 				}
 			}
 		case dynamic.SetWeight:
@@ -471,40 +676,64 @@ func (p *Pool) route(b dynamic.Batch, rep *Report) {
 	}
 }
 
-// applyShards runs every up shard's local batch in parallel — the
-// maintainers share no state, so the phase is embarrassingly parallel
-// and deterministic — and reports which shards were lost to a panic,
-// plus each survivor's ApplyReport (the raw material the telemetry
-// phase replays into shard events, in shard order). Every up shard
-// applies even an empty batch: that is what advances its audit cadence
-// and its recovery ladder.
-func (p *Pool) applyShards(rep *Report) ([]bool, []dynamic.ApplyReport) {
+// commitShards runs every up shard's local batch — through the per-shard
+// pipelines (concurrently, no pool lock) or inline in ascending shard
+// order under Options.Serial — and reports which shards were lost to a
+// panic, plus each survivor's ApplyReport (the raw material the barrier
+// replays into shard events, in shard order). Every up shard applies
+// even an empty batch: that is what advances its audit cadence and its
+// recovery ladder. The maintainers share no state, so the concurrent
+// phase is deterministic; slot.mt and slot.batch are stable here because
+// applyMu excludes every other mutator.
+func (p *Pool) commitShards(jobs int) ([]bool, []dynamic.ApplyReport) {
 	crashed := make([]bool, len(p.shards))
 	reps := make([]dynamic.ApplyReport, len(p.shards))
+	if p.opts.Serial {
+		for _, slot := range p.shards {
+			if !slot.up {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						crashed[slot.id] = true
+					}
+				}()
+				reps[slot.id] = slot.mt.Apply(slot.batch)
+			}()
+		}
+		return crashed, reps
+	}
+	if p.tel != nil {
+		p.tel.queueDepth.Set(int64(jobs))
+	}
 	var wg sync.WaitGroup
 	for _, slot := range p.shards {
 		if !slot.up {
 			continue
 		}
 		wg.Add(1)
-		go func(slot *shardSlot) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					crashed[slot.id] = true
-				}
-			}()
-			reps[slot.id] = slot.mt.Apply(slot.batch)
-		}(slot)
+		slot.work <- shardJob{
+			mt:      slot.mt,
+			batch:   slot.batch,
+			rep:     &reps[slot.id],
+			crashed: &crashed[slot.id],
+			wg:      &wg,
+		}
 	}
 	wg.Wait()
+	if p.tel != nil {
+		p.tel.queueDepth.Set(0)
+	}
 	return crashed, reps
 }
 
 // observeHealth is the supervisor's consumption of each surviving
 // shard's Health: an illegal observable transition (Degraded→Healthy —
 // a shard that skipped certification) marks the shard corrupt, and both
-// corrupt and panicked shards are killed for rebuild.
+// corrupt and panicked shards are killed for rebuild. Shards whose
+// served matching may have changed (ApplyReport.Changed) are marked for
+// the incremental recompose.
 func (p *Pool) observeHealth(crashed []bool, reps []dynamic.ApplyReport, step int, rep *Report) {
 	for s, slot := range p.shards {
 		if !slot.up {
@@ -513,6 +742,9 @@ func (p *Pool) observeHealth(crashed []bool, reps []dynamic.ApplyReport, step in
 		lost := crashed[s]
 		if !lost {
 			p.emitShardReport(step, int32(s), reps[s])
+			if reps[s].Changed {
+				slot.dirty = true
+			}
 			h := slot.mt.Health()
 			if !dynamic.ValidTransition(slot.health, h) {
 				lost = true
@@ -539,44 +771,58 @@ func (p *Pool) observeHealth(crashed []bool, reps []dynamic.ApplyReport, step in
 	}
 }
 
-// Matching returns the composed global matching — always valid on the
-// live subgraph. Safe for concurrent callers; see Query for the
-// staleness flags.
-func (p *Pool) Matching() *graph.Matching {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.matchingLocked()
+// publishLocked composes the read snapshot from the mirror and stores it
+// atomically — the only hand-off between the write path and the
+// lock-free readers. Callers hold p.mu.
+func (p *Pool) publishLocked() {
+	s := &poolSnap{
+		matching:  graph.CollectMatching(p.g, p.gmatch),
+		step:      p.step,
+		certified: p.certified,
+		healths:   make([]dynamic.Health, len(p.shards)),
+		downMask:  make([]bool, len(p.shards)),
+	}
+	for i, slot := range p.shards {
+		s.healths[i], s.downMask[i] = slot.health, !slot.up
+		if !slot.up {
+			s.down = append(s.down, i)
+		} else if slot.health == dynamic.Degraded {
+			s.stale = append(s.stale, i)
+		}
+	}
+	s.degraded = len(s.down) > 0 || len(s.stale) > 0
+	p.snap.Store(s)
 }
 
-func (p *Pool) matchingLocked() *graph.Matching {
-	if m := p.cached.Load(); m != nil {
-		return m
+// Matching returns the composed global matching — always valid on the
+// live subgraph. It reads the atomically-published snapshot: never
+// blocked by an in-flight Apply or audit, never torn. Panics ErrClosed
+// on a closed pool.
+func (p *Pool) Matching() *graph.Matching {
+	if p.closed.Load() {
+		panic(ErrClosed)
 	}
-	m := graph.CollectMatching(p.g, p.gmatch)
-	p.cached.Store(m)
-	return m
+	return p.snap.Load().matching
 }
 
 // Query answers one serving request: the composed matching plus the
 // explicit partiality/staleness flags — the pool degrades, it does not
-// fail.
+// fail. Like Matching it serves the last published snapshot with no
+// locks; all fields are consistent with each other (one barrier's view).
+// Panics ErrClosed on a closed pool.
 func (p *Pool) Query() Response {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	resp := Response{
-		Matching:  p.matchingLocked(),
-		Certified: p.certified,
-		Step:      p.step,
+	if p.closed.Load() {
+		panic(ErrClosed)
 	}
-	for s, slot := range p.shards {
-		if !slot.up {
-			resp.Down = append(resp.Down, s)
-		} else if slot.health == dynamic.Degraded {
-			resp.Stale = append(resp.Stale, s)
-		}
+	s := p.snap.Load()
+	return Response{
+		Matching:  s.matching,
+		Certified: s.certified,
+		Step:      s.step,
+		Degraded:  s.degraded,
+		Down:      s.down,
+		Stale:     s.stale,
 	}
-	resp.Degraded = p.degradedLocked()
-	return resp
 }
 
 // Status reports every shard's supervisor state.
@@ -623,9 +869,14 @@ func (p *Pool) Live(e int) bool {
 
 // InjectShardFaults arms (or, with nil, disarms) a fault plan on shard
 // s's Maintainer. The plan addresses the shard's local node and edge
-// ids (the sub-slab returned by SubGraph). Errors if the shard is down;
-// a rebuilt shard comes back unarmed.
+// ids (the sub-slab returned by SubGraph). Errors if the shard is down
+// or the pool closed; a rebuilt shard comes back unarmed.
 func (p *Pool) InjectShardFaults(s int, plan *dist.FaultPlan) error {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s < 0 || s >= len(p.shards) {
@@ -680,19 +931,25 @@ func (p *Pool) nextSeed() uint64 {
 	return rng.ForkSeed(p.seedBase, p.runCtr)
 }
 
-// Close shuts down every shard Maintainer and the resolver.
+// Close shuts down every shard Maintainer, the resolver and the commit
+// pipelines. Idempotent; every later mutator or query fails ErrClosed.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
-	p.closed = true
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, slot := range p.shards {
 		if slot.up {
 			slot.mt.Close()
 			slot.mt = nil
 			slot.up = false
+		}
+		if slot.work != nil {
+			close(slot.work)
+			slot.work = nil
 		}
 	}
 	p.resolver.Close()

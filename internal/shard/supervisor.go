@@ -64,6 +64,8 @@ func NewKillPlan(events []KillEvent) *KillPlan {
 // SetKillPlan installs (or, with nil, removes) a kill schedule. Event
 // steps count Applies from the installation point.
 func (p *Pool) SetKillPlan(plan *KillPlan) {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if plan != nil {
@@ -174,6 +176,7 @@ func (p *Pool) rebuildLocked(slot *shardSlot, step int) {
 		// it is a bug, not a runtime condition.
 		panic(fmt.Sprintf("shard: rebuild of shard %d from the pool mirror failed: %v", slot.id, err))
 	}
+	slot.dirty = true
 	pre := slot.health
 	slot.health = slot.mt.Health()
 	p.emit(step, telemetry.EventShardRestart, int32(slot.id), int64(slot.restarts), 0)
@@ -186,11 +189,13 @@ func (p *Pool) rebuildLocked(slot *shardSlot, step int) {
 // chaos harness's manual lever). The shard auto-restarts after its
 // backoff, counted in Apply slots.
 func (p *Pool) KillShard(s int) error {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return fmt.Errorf("shard: pool closed")
-	}
 	if s < 0 || s >= len(p.shards) {
 		return fmt.Errorf("shard: no shard %d", s)
 	}
@@ -200,6 +205,7 @@ func (p *Pool) KillShard(s int) error {
 	}
 	p.totals.Kills++
 	p.downLocked(slot, p.step)
+	p.publishLocked()
 	p.updateGauges()
 	return nil
 }
@@ -207,11 +213,13 @@ func (p *Pool) KillShard(s int) error {
 // RestartShard force-rebuilds shard s now: a down shard skips the rest
 // of its backoff, an up shard goes through a rolling cold rebuild.
 func (p *Pool) RestartShard(s int) error {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return fmt.Errorf("shard: pool closed")
-	}
 	if s < 0 || s >= len(p.shards) {
 		return fmt.Errorf("shard: no shard %d", s)
 	}
@@ -220,6 +228,7 @@ func (p *Pool) RestartShard(s int) error {
 		p.closeSlot(slot)
 	}
 	p.rebuildLocked(slot, p.step)
+	p.publishLocked()
 	p.updateGauges()
 	return nil
 }

@@ -21,18 +21,25 @@ import (
 type poolTel struct {
 	events *telemetry.Events
 
-	applyNS *telemetry.Histogram
+	applyNS   *telemetry.Histogram
+	routeNS   *telemetry.Histogram // phase 1: the routing critical section
+	commitNS  *telemetry.Histogram // phase 2: the concurrent per-shard commits
+	barrierNS *telemetry.Histogram // phase 3: observe + recompose + audit + publish
 
 	routed          *telemetry.Counter
 	crossing        *telemetry.Counter
 	deferred        *telemetry.Counter
 	crossingMatched *telemetry.Counter
+	crossingScanned *telemetry.Counter // dirty crossing edges examined by resolution passes
+	crossingCarried *telemetry.Counter // dirty crossing edges deferred to the next slot
 	resolverRounds  *telemetry.Counter
 	resolverMsgs    *telemetry.Counter
+	epochs          *telemetry.Counter // stop-the-world audit epochs executed
 
-	step      *telemetry.Gauge
-	degraded  *telemetry.Gauge
-	certified *telemetry.Gauge
+	step       *telemetry.Gauge
+	degraded   *telemetry.Gauge
+	certified  *telemetry.Gauge
+	queueDepth *telemetry.Gauge // shard commits in flight on the pipelines
 
 	// Per-shard gauges, indexed by shard id (labels-in-name series).
 	up       []*telemetry.Gauge
@@ -48,15 +55,22 @@ func newPoolTel(reg *telemetry.Registry, shards int) *poolTel {
 	t := &poolTel{
 		events:          reg.Events(),
 		applyNS:         reg.Histogram("pool_apply_ns", "wall-clock duration of one Pool.Apply"),
+		routeNS:         reg.Histogram("pool_route_ns", "wall-clock duration of the routing critical section"),
+		commitNS:        reg.Histogram("pool_commit_ns", "wall-clock duration of the concurrent shard-commit phase"),
+		barrierNS:       reg.Histogram("pool_barrier_ns", "wall-clock duration of the recompose/audit barrier"),
 		routed:          reg.Counter("pool_updates_routed_total", "updates routed to up shards"),
 		crossing:        reg.Counter("pool_updates_crossing_total", "updates touching pool-owned crossing edges"),
 		deferred:        reg.Counter("pool_updates_deferred_total", "updates deferred to the mirror (owner down)"),
 		crossingMatched: reg.Counter("pool_crossing_matched_total", "crossing matches added by greedy resolution"),
+		crossingScanned: reg.Counter("pool_crossing_scanned_total", "dirty crossing edges examined by resolution passes"),
+		crossingCarried: reg.Counter("pool_crossing_carried_total", "dirty crossing edges deferred to the next slot"),
 		resolverRounds:  reg.Counter("pool_resolver_rounds_total", "resolver engine rounds (audits and conflict repairs)"),
 		resolverMsgs:    reg.Counter("pool_resolver_messages_total", "resolver engine messages"),
+		epochs:          reg.Counter("pool_epochs_total", "stop-the-world audit epochs executed"),
 		step:            reg.Gauge("pool_step", "Apply slots executed"),
 		degraded:        reg.Gauge("pool_degraded", "1 while responses may be partial or stale"),
 		certified:       reg.Gauge("pool_certified", "1 while the composed matching is conflict-audited"),
+		queueDepth:      reg.Gauge("pool_apply_queue_depth", "shard commits in flight on the per-shard pipelines"),
 	}
 	for s := 0; s < shards; s++ {
 		t.up = append(t.up, reg.Gauge(fmt.Sprintf(`shard_up{shard="%d"}`, s), "1 while the shard serves"))

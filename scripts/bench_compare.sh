@@ -113,10 +113,12 @@ raw+=$'\n'$(go test -run '^$' -benchtime "$benchtime" -count "$count" \
 			printf "  \"dynamic_region\": {\"active_ns_per_slot\": %.0f, \"fullsweep_ns_per_slot\": %.0f, \"speedup\": %.2f},\n", \
 				ract, rfull, (ract > 0 ? rfull/ract : 0)
 			spool=ns["BenchmarkShardServingPoolApply"]+0
+			sserial=ns["BenchmarkShardServingPoolApplySerial"]+0
+			sconc=ns["BenchmarkShardServingPoolApplyConcurrent"]+0
 			ssingle=ns["BenchmarkShardServingSingleApply"]+0
 			squery=ns["BenchmarkShardServingQuery"]+0
-			printf "  \"shard_serving\": {\"pool_ns_per_slot\": %.0f, \"single_ns_per_slot\": %.0f, \"overhead_x\": %.2f, \"query_ns\": %.0f},\n", \
-				spool, ssingle, (ssingle > 0 ? spool/ssingle : 0), squery
+			printf "  \"shard_serving\": {\"pool_ns_per_slot\": %.0f, \"serial_ns_per_slot\": %.0f, \"concurrent_ns_per_slot\": %.0f, \"single_ns_per_slot\": %.0f, \"overhead_x\": %.2f, \"query_ns\": %.0f},\n", \
+				spool, sserial, sconc, ssingle, (ssingle > 0 ? spool/ssingle : 0), squery
 			tflat=rates["BenchmarkEngineRoundFlatTelemetry"]+0
 			bflat=rates["BenchmarkEngineRoundFlat"]+0
 			tsingle=ns["BenchmarkShardServingSingleApplyTelemetry"]+0

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Load-test harness: boots a real distmatchd, points cmd/loadgen at it
+# (concurrent exactly-once appliers + matching readers), and asserts the
+# p99s the server's own http_request_ns histograms report stay under the
+# bounds. Also validates the post-load /metrics exposition with
+# cmd/expositioncheck — a serving process under fire must still expose
+# parseable metrics.
+#
+# The CI loadtest job runs this in smoke mode; run it locally from the
+# repo root:
+#
+#   ./scripts/loadtest.sh          # full: 10s of load, tighter pool
+#   ./scripts/loadtest.sh smoke    # CI: 3s of load
+#
+# Bounds are deliberately generous (CI machines are noisy, often 1-2
+# vCPUs); the regression they catch is readers stalling behind applies
+# or applies stalling behind audits — both show up as orders of
+# magnitude, not percentages.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=${1:-${LOADTEST_MODE:-full}}
+PORT=${PORT:-18480}
+BASE="http://127.0.0.1:$PORT"
+
+case "$MODE" in
+smoke)
+	DURATION=3s
+	CLIENTS=3
+	READERS=3
+	;;
+full)
+	DURATION=10s
+	CLIENTS=6
+	READERS=6
+	;;
+*)
+	echo "usage: $0 [smoke|full]" >&2
+	exit 2
+	;;
+esac
+# p99 bounds: applies pay a full pool slot (route + shard commits +
+# recompose and the occasional audit epoch); matching reads are one
+# atomic snapshot load and must stay far under that even while the
+# appliers saturate the slot lock.
+MAX_P99_APPLY=${MAX_P99_APPLY:-2s}
+MAX_P99_QUERY=${MAX_P99_QUERY:-500ms}
+
+tmp=$(mktemp -d)
+trap 'kill "$srv_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/distmatchd" ./cmd/distmatchd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/expositioncheck" ./cmd/expositioncheck
+
+"$tmp/distmatchd" -addr "127.0.0.1:$PORT" \
+	-nx 64 -ny 64 -p 0.1 -shards 4 -k 2 -seed 7 -audit 8 -accesslog=false \
+	>"$tmp/distmatchd.log" 2>&1 &
+srv_pid=$!
+
+for i in $(seq 1 50); do
+	if curl -fsS "$BASE/v1/health" >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$srv_pid" 2>/dev/null; then
+		echo "FAIL: distmatchd exited during startup:"; cat "$tmp/distmatchd.log"; exit 1
+	fi
+	sleep 0.1
+done
+
+"$tmp/loadgen" -addr "$BASE" -clients "$CLIENTS" -readers "$READERS" \
+	-duration "$DURATION" -maxp99apply "$MAX_P99_APPLY" -maxp99query "$MAX_P99_QUERY" \
+	| tee "$tmp/loadgen.json"
+
+# The exposition survived the load: parseable, and carrying the pipeline
+# phase histograms the load just exercised.
+curl -fsS "$BASE/metrics" >"$tmp/metrics.txt"
+"$tmp/expositioncheck" <"$tmp/metrics.txt"
+for series in pool_route_ns pool_commit_ns pool_barrier_ns pool_apply_queue_depth \
+	pool_epochs_total 'http_request_ns{route="/v1/apply",quantile="0.99"}'; do
+	grep -qF "$series" "$tmp/metrics.txt" || {
+		echo "FAIL: /metrics missing $series"; exit 1; }
+done
+
+echo "PASS: loadtest ($MODE) $(cat "$tmp/loadgen.json")"
